@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""In-network straggler mitigation with timer threads (§5).
+
+Four servers aggregate through one PFE; one of them straggles for 80 ms —
+far beyond the 10 ms detection timeout.  Trio's timer threads scan the
+aggregation hash table, find the aged-out blocks via their REF flags, and
+multicast partial (degraded) results so the healthy servers keep moving.
+The run prints when each server finished and what the degraded results
+reported.
+
+Run:  python examples/straggler_mitigation.py
+"""
+
+from repro.harness import build_single_pfe_testbed
+from repro.sim import Environment
+from repro.trioml import TrioMLJobConfig
+
+
+def main() -> None:
+    env = Environment()
+    config = TrioMLJobConfig(
+        grads_per_packet=256,
+        window=8,
+        timeout_s=0.010,       # 10 ms straggler timeout (§6.1)
+        detector_threads=20,
+    )
+
+    straggle_s = 0.080
+
+    def hook_factory(worker_index):
+        if worker_index != 3:
+            return None
+        # Server 4 sleeps 80 ms before sending block 2 (and therefore
+        # everything after it) — a transient slow worker.
+        return lambda block_id: straggle_s if block_id == 2 else 0.0
+
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=4, with_detector=True,
+        hook_factory=hook_factory,
+    )
+
+    blocks = 6
+    vector = [1] * (config.grads_per_packet * blocks)
+    procs = testbed.run_allreduce([vector] * 4)
+
+    finish_times = {}
+
+    def watch(index, proc):
+        yield proc
+        finish_times[index] = env.now
+
+    for index, proc in enumerate(procs):
+        env.process(watch(index, proc))
+    env.run(until=env.all_of(procs))
+
+    print(f"straggler slept {straggle_s * 1e3:.0f} ms; "
+          f"detection timeout {config.timeout_s * 1e3:.0f} ms\n")
+    for index, proc in enumerate(procs):
+        degraded = [b for b in proc.value if b.degraded]
+        tag = " (the straggler)" if index == 3 else ""
+        print(f"server{index + 1}{tag}: finished at "
+              f"{finish_times[index] * 1e3:6.2f} ms, "
+              f"{len(degraded)} degraded blocks "
+              f"{[(b.block_id, b.src_cnt) for b in degraded]}")
+
+    detector = next(iter(testbed.handle.detectors.values()))
+    print(f"\ntimer threads fired {testbed.handle.aggregator.pfe.timers.groups[0].firings} times, "
+          f"scanned {detector.records_scanned} records, "
+          f"mitigated {len(detector.mitigations)} blocks")
+    for event in detector.mitigations:
+        print(f"  block {event.block_id}: aged out after "
+              f"{event.waited_s * 1e3:.2f} ms with {event.rcvd_cnt}/4 sources")
+    print("\nnon-straggling servers recovered within ~2x the timeout, "
+          "instead of waiting the full straggle (Figure 14).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""vMX: the same Microcode, virtualised on x86 (§3.1).
+
+Juniper's vMX runs the Microcode engine on commodity servers behind a
+Junos control plane (a virtual control plane driving a virtual
+forwarding plane).  This example:
+
+1. installs the §3.2 filter program on a vMX through the VCP's
+   candidate/commit configuration flow, and shows traffic only passes
+   after ``commit``;
+2. runs the *unmodified* Trio-ML aggregation application on both a
+   hardware gen-5 PFE and the vMX VFP and compares completion time —
+   the portability §3.1 promises, at software speed.
+
+Run:  python examples/vmx_virtual_router.py
+"""
+
+from repro.harness import build_single_pfe_testbed
+from repro.microcode.programs import build_filter_executor
+from repro.net import Host, IPv4Address, MACAddress, Topology
+from repro.sim import Environment
+from repro.trio import TrioApplication, VirtualMX
+from repro.trio.vmx import VMX_VFP_CONFIG
+from repro.trioml import TrioMLJobConfig
+
+
+class FilterApp(TrioApplication):
+    """The §3.2 filter, reusable on any forwarding plane."""
+
+    name = "ip-filter"
+
+    def on_install(self, pfe):
+        base = pfe.memory.alloc(32, region="sram", align=16)
+        self.executor = build_filter_executor(base)
+
+    def handle_packet(self, tctx, pctx):
+        yield from self.executor.run(tctx, pctx)
+
+
+def demo_commit_flow() -> None:
+    env = Environment()
+    vmx = VirtualMX(env, "vmx1", num_ports=2)
+    src = Host(env, "src", MACAddress(1), IPv4Address("10.0.0.1"))
+    dst = Host(env, "dst", MACAddress(2), IPv4Address("10.0.0.2"))
+    topo = Topology(env)
+    topo.connect(src.nic.port, vmx.port(0))
+    topo.connect(dst.nic.port, vmx.port(1))
+
+    # Stage configuration on the VCP candidate...
+    vmx.vcp.set_application(FilterApp())
+    vmx.vcp.set_route(dst.ip, f"{vmx.vfp.name}.p1")
+
+    def send(tag):
+        yield src.send_udp(dst.mac, dst.ip, 1, 2, tag)
+
+    env.process(send(b"before commit"))
+    env.run(until=1e-3)
+    print(f"before commit: {vmx.vfp.packets_dropped} packet dropped "
+          "(no route on the VFP yet)")
+
+    version = vmx.vcp.commit("filter + host route")
+    print(f"committed configuration version {version}")
+
+    env.process(send(b"after commit"))
+
+    def recv():
+        packet = yield dst.recv()
+        return packet.parse_udp()[3]
+
+    p = env.process(recv())
+    payload = env.run(until=p)
+    print(f"after commit: delivered {payload!r}\n")
+
+
+def aggregation_time(chipset) -> float:
+    env = Environment()
+    config = TrioMLJobConfig(grads_per_packet=512, window=16)
+    testbed = build_single_pfe_testbed(env, config, num_workers=4,
+                                       chipset=chipset)
+    vector = [1] * (512 * 64)
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    assert all(block.values == [4] * 512 for block in procs[0].value)
+    return env.now
+
+
+def main() -> None:
+    demo_commit_flow()
+
+    hw_s = aggregation_time(None)             # gen-5 silicon
+    vmx_s = aggregation_time(VMX_VFP_CONFIG)  # Microcode on x86
+
+    print("the unmodified Trio-ML application on both forwarding planes")
+    print("(4 workers x 64 blocks x 512 gradients):")
+    print(f"  gen-5 PFE (96 PPEs, 12 RMW engines):  "
+          f"{hw_s * 1e6:8.1f} us")
+    print(f"  vMX VFP   (8 cores, software atomics): "
+          f"{vmx_s * 1e6:8.1f} us  ({vmx_s / hw_s:.1f}x slower)")
+    print("\nsame binary-compatible behaviour, software-defined speed — "
+          "vMX's trade (§3.1).")
+
+
+if __name__ == "__main__":
+    main()

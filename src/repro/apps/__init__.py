@@ -1,0 +1,24 @@
+"""In-network applications built on the public Trio API.
+
+These implement the future use cases §7 of the paper sketches:
+
+* :mod:`repro.apps.telemetry` — per-flow accounting with Packet/Byte
+  Counters, periodic timer-thread sweeps, heavy-hitter reporting, and
+  REF-flag-based retirement of idle flow state.
+* :mod:`repro.apps.security` — DDoS mitigation: per-source rate tracking
+  with policers, anomaly scoring by timer threads, and a shared-memory
+  blocklist enforced on the data path.
+
+Like Trio-ML, they are ordinary :class:`~repro.trio.pfe.TrioApplication`
+subclasses — nothing in ``repro.trio`` knows about them.
+"""
+
+from repro.apps.telemetry import FlowStats, TelemetryMonitor
+from repro.apps.security import DDoSMitigator, SourceState
+
+__all__ = [
+    "DDoSMitigator",
+    "FlowStats",
+    "SourceState",
+    "TelemetryMonitor",
+]

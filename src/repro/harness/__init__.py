@@ -1,0 +1,25 @@
+"""Experiment harness: per-figure drivers and testbed builders.
+
+Every table and figure of the paper's evaluation has one driver in
+:mod:`repro.harness.experiments`; :mod:`repro.harness.testbed` builds the
+Figure 11 topologies; :mod:`repro.harness.figures` renders results as the
+rows/series the paper reports.
+"""
+
+from repro.harness.testbed import (
+    HierarchicalTestbed,
+    SinglePfeTestbed,
+    build_hierarchical_testbed,
+    build_single_pfe_testbed,
+)
+from repro.harness import experiments
+from repro.harness import figures
+
+__all__ = [
+    "HierarchicalTestbed",
+    "SinglePfeTestbed",
+    "build_hierarchical_testbed",
+    "build_single_pfe_testbed",
+    "experiments",
+    "figures",
+]

@@ -1,0 +1,172 @@
+"""Command-line runner for the evaluation experiments.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness table1 fig14 fig15
+    python -m repro.harness all
+    python -m repro.harness fig16 --fast
+
+``--fast`` shrinks the packet-level sweeps (fewer blocks, smaller
+windows) for a quick smoke run; the full runs match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from functools import partial
+from typing import Callable, Dict
+
+from repro.harness import charts
+from repro.harness import experiments as exp
+from repro.harness import figures
+
+
+def _run_table1() -> str:
+    return figures.render_table1(exp.table1_models())
+
+
+def _run_fig12() -> str:
+    return figures.render_fig12(exp.fig12_time_to_accuracy())
+
+
+def _run_fig13(chart: bool = False) -> str:
+    results = exp.fig13_iteration_time()
+    rendered = figures.render_fig13(results)
+    if chart:
+        panels = [charts.fig13_chart(results, model) for model in results]
+        rendered += "\n\n" + "\n\n".join(panels)
+    return rendered
+
+
+def _run_fig14(fast: bool) -> str:
+    return figures.render_fig14(exp.fig14_mitigation(
+        blocks=8 if fast else 20
+    ))
+
+
+def _run_fig15(fast: bool) -> str:
+    return figures.render_fig15(exp.fig15_latency_rate(
+        blocks=20 if fast else 100
+    ))
+
+
+def _run_fig16(fast: bool, chart: bool = False) -> str:
+    windows = (1, 4, 16, 64, 256) if fast else exp.FIG16_WINDOWS
+    results = exp.fig16_window_sweep(windows=windows)
+    rendered = figures.render_fig16(results)
+    if chart:
+        panels = [charts.fig16_chart(results, grads) for grads in results]
+        rendered += "\n\n" + "\n\n".join(panels)
+    return rendered
+
+
+def _run_analysis() -> str:
+    return figures.render_program_analysis(exp.microcode_program_analysis())
+
+
+def _run_generations(fast: bool) -> str:
+    return figures.render_generation_scaling(exp.generation_scaling(
+        blocks=32 if fast else 128
+    ))
+
+
+def _run_loss(fast: bool) -> str:
+    return figures.render_loss_recovery(exp.loss_recovery_sweep(
+        blocks=16 if fast else 32
+    ))
+
+
+def _run_ablations(fast: bool) -> str:
+    sections = [
+        figures.render_ablation(
+            "Ablation: RMW engine offload vs thread-ownership locking (§2.3)",
+            exp.ablation_rmw_offload(
+                num_threads=16 if fast else 64,
+                updates_per_thread=8 if fast else 32,
+            ),
+        ),
+        figures.render_ablation(
+            "Ablation: parallel timer-thread table scanning (§5)",
+            exp.ablation_scan_threads(
+                num_records=2_000 if fast else 20_000
+            ),
+        ),
+        figures.render_ablation(
+            "Ablation: single-level vs hierarchical aggregation (§4)",
+            exp.ablation_hierarchy(
+                blocks=64 if fast else 512,
+                window=32 if fast else 256,
+            ),
+        ),
+        figures.render_ablation(
+            "Ablation: tail-read chunk size (Figure 10 loop)",
+            exp.ablation_tail_chunk(blocks=8 if fast else 32),
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def build_registry(fast: bool, chart: bool = False
+                   ) -> Dict[str, Callable[[], str]]:
+    return {
+        "table1": _run_table1,
+        "fig12": _run_fig12,
+        "fig13": partial(_run_fig13, chart),
+        "fig14": partial(_run_fig14, fast),
+        "fig15": partial(_run_fig15, fast),
+        "fig16": partial(_run_fig16, fast, chart),
+        "analysis": _run_analysis,
+        "ablations": partial(_run_ablations, fast),
+        "generations": partial(_run_generations, fast),
+        "loss": partial(_run_loss, fast),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=["list"],
+        help="experiment names (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shrink the packet-level sweeps for a quick run",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append ASCII charts to figure output (fig13, fig16)",
+    )
+    args = parser.parse_args(argv)
+    registry = build_registry(args.fast, args.chart)
+
+    names = args.experiments
+    if names == ["list"]:
+        print("available experiments:")
+        for name in registry:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    if "all" in names:
+        names = list(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        output = registry[name]()
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

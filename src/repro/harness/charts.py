@@ -1,0 +1,125 @@
+"""ASCII charts: render experiment series as terminal plots.
+
+The paper's figures are line charts; :func:`line_chart` renders one or
+more (x, y) series on a shared text canvas so
+``python -m repro.harness fig13 --chart`` output can be eyeballed without
+external plotting.  Deliberately simple: linear axes, one glyph per
+series, nearest-cell rasterisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["line_chart", "fig13_chart", "fig16_chart"]
+
+Series = Sequence[Tuple[float, float]]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "*o+x#@"
+
+
+def line_chart(
+    series: Dict[str, Series],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series onto one text canvas with a legend."""
+    if not series or all(len(points) == 0 for points in series.values()):
+        raise ValueError("line_chart needs at least one non-empty series")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+
+    points = [p for s in series.values() for p in s]
+    xs = [x for x, __ in points]
+    ys = [y for __, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for __ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / y_span * (height - 1))
+        return height - 1 - row, col
+
+    for index, (name, data) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        # Connect consecutive points with interpolated cells.
+        ordered = sorted(data)
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(abs(cell(x1, y1)[1] - cell(x0, y0)[1]), 1)
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+                canvas[row][col] = glyph
+        for x, y in ordered:
+            row, col = cell(x, y)
+            canvas[row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_max:.6g}"
+    y_bottom = f"{y_min:.6g}"
+    margin = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = y_top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_bottom.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_axis = " " * margin + "+" + "-" * width
+    lines.append(x_axis)
+    x_left = f"{x_min:.6g}"
+    x_right = f"{x_max:.6g}"
+    gap = width - len(x_left) - len(x_right)
+    middle = x_label.center(max(gap, 0)) if x_label else " " * max(gap, 0)
+    lines.append(" " * (margin + 1) + x_left + middle + x_right)
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def fig13_chart(results, model: str) -> str:
+    """Figure 13 panel for one model as an ASCII chart."""
+    rows = results[model]
+    series = {
+        "Ideal": [(r.probability * 100, r.ideal_ms) for r in rows],
+        "Trio-ML": [(r.probability * 100, r.trioml_ms) for r in rows],
+        "SwitchML": [(r.probability * 100, r.switchml_ms) for r in rows],
+    }
+    return line_chart(
+        series,
+        title=f"Figure 13 [{model}]: iteration time vs straggling probability",
+        x_label="p (%)",
+        y_label="ms",
+    )
+
+
+def fig16_chart(results, grads: int) -> str:
+    """Figure 16(b)-style throughput-vs-window ASCII chart."""
+    rows = results[grads]
+    series = {
+        f"Trio-ML-{grads}": [
+            (float(r.window), r.throughput_gbps) for r in rows
+        ],
+    }
+    return line_chart(
+        series,
+        title=f"Figure 16b [Trio-ML-{grads}]: throughput vs window",
+        x_label="window",
+        y_label="Gbps",
+    )

@@ -1,0 +1,671 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each function returns structured results; :mod:`repro.harness.figures`
+renders them as the rows/series the paper reports.  Packet-level
+experiments (Figures 14–16, the §6.3 analysis, and the ablations) run on
+the simulated Trio testbed; training-level experiments (Figures 12–13)
+use the calibrated iteration-time models of :mod:`repro.ml`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ml.accuracy import AccuracyCurve
+from repro.ml.models import DNNModel, MODEL_ZOO
+from repro.ml.training import DataParallelTrainer, TrainingConfig
+from repro.sim import Environment, Resource
+from repro.trio.chipset import GENERATIONS
+from repro.trio.hashtable import HardwareHashTable
+from repro.trio.pfe import PFE
+from repro.trioml.aggregator import (
+    INSTRUCTIONS_PER_GRADIENT,
+    STATIC_PROGRAM_INSTRUCTIONS,
+)
+from repro.trioml.config import TrioMLJobConfig
+from repro.harness.testbed import (
+    build_hierarchical_testbed,
+    build_single_pfe_testbed,
+)
+
+__all__ = [
+    "Fig12Result",
+    "Fig13Row",
+    "Fig14Row",
+    "Fig15Row",
+    "Fig16Row",
+    "ProgramAnalysis",
+    "ablation_hierarchy",
+    "ablation_rmw_offload",
+    "ablation_scan_threads",
+    "ablation_tail_chunk",
+    "fig12_time_to_accuracy",
+    "fig13_iteration_time",
+    "fig14_mitigation",
+    "fig15_latency_rate",
+    "fig16_window_sweep",
+    "generation_scaling",
+    "loss_recovery_sweep",
+    "microcode_program_analysis",
+    "table1_models",
+]
+
+#: Straggle probabilities swept in Figure 13 (x-axis 0..16%).
+FIG13_PROBABILITIES = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16)
+#: Gradient-per-packet sweep of Figure 15.
+FIG15_GRAD_COUNTS = (64, 128, 256, 512, 1024)
+#: Window sweep of Figure 16.
+FIG16_WINDOWS = (1, 4, 16, 64, 256, 1024, 4096)
+#: Timeout sweep of Figure 14 (milliseconds).
+FIG14_TIMEOUTS_MS = (2.5, 5.0, 10.0, 15.0, 20.0)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def table1_models() -> List[Dict[str, object]]:
+    """The DNN workload table (Table 1)."""
+    return [
+        {
+            "model": model.name,
+            "size_mb": model.size_mb,
+            "batch_size_per_gpu": model.batch_size,
+            "dataset": model.dataset,
+        }
+        for model in MODEL_ZOO.values()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: time-to-accuracy
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig12Result:
+    """One panel of Figure 12."""
+
+    model: str
+    target_accuracy: float
+    trioml_minutes: float
+    switchml_minutes: float
+    speedup: float
+    #: (minutes, accuracy) series for each system.
+    trioml_curve: List[Tuple[float, float]]
+    switchml_curve: List[Tuple[float, float]]
+
+
+def fig12_time_to_accuracy(
+    straggle_probability: float = 0.16,
+    iterations: int = 100,
+    seed: int = 0,
+    models: Optional[Sequence[str]] = None,
+) -> Dict[str, Fig12Result]:
+    """Figure 12: validation accuracy vs wall-clock time at p = 16%."""
+    results: Dict[str, Fig12Result] = {}
+    for key in models or MODEL_ZOO:
+        model = MODEL_ZOO[key]
+        curve = AccuracyCurve(model)
+        iteration_s: Dict[str, float] = {}
+        for system in ("trioml", "switchml"):
+            trainer = DataParallelTrainer(
+                TrainingConfig(
+                    model=model,
+                    system=system,
+                    straggle_probability=straggle_probability,
+                    seed=seed,
+                )
+            )
+            iteration_s[system] = trainer.average_iteration_s(iterations)
+        target = model.target_accuracy
+        tta = {
+            system: curve.time_to_accuracy_s(target, iteration_s[system]) / 60
+            for system in iteration_s
+        }
+        results[key] = Fig12Result(
+            model=model.name,
+            target_accuracy=target,
+            trioml_minutes=tta["trioml"],
+            switchml_minutes=tta["switchml"],
+            speedup=tta["switchml"] / tta["trioml"],
+            trioml_curve=curve.curve(iteration_s["trioml"], target),
+            switchml_curve=curve.curve(iteration_s["switchml"], target),
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: iteration time vs straggling probability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig13Row:
+    probability: float
+    ideal_ms: float
+    trioml_ms: float
+    switchml_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.switchml_ms / self.trioml_ms
+
+
+def fig13_iteration_time(
+    probabilities: Sequence[float] = FIG13_PROBABILITIES,
+    iterations: int = 100,
+    seed: int = 0,
+    models: Optional[Sequence[str]] = None,
+) -> Dict[str, List[Fig13Row]]:
+    """Figure 13: average iteration time of the first 100 iterations."""
+    results: Dict[str, List[Fig13Row]] = {}
+    for key in models or MODEL_ZOO:
+        model = MODEL_ZOO[key]
+        rows: List[Fig13Row] = []
+        for probability in probabilities:
+            averages = {}
+            for system in ("ideal", "trioml", "switchml"):
+                trainer = DataParallelTrainer(
+                    TrainingConfig(
+                        model=model,
+                        system=system,
+                        straggle_probability=probability,
+                        seed=seed,
+                    )
+                )
+                averages[system] = trainer.average_iteration_s(iterations)
+            rows.append(
+                Fig13Row(
+                    probability=probability,
+                    ideal_ms=averages["ideal"] * 1e3,
+                    trioml_ms=averages["trioml"] * 1e3,
+                    switchml_ms=averages["switchml"] * 1e3,
+                )
+            )
+        results[key] = rows
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: straggler mitigation time vs timeout
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig14Row:
+    timeout_ms: float
+    mean_mitigation_ms: float
+    max_mitigation_ms: float
+    blocks_mitigated: int
+
+
+def fig14_mitigation(
+    timeouts_ms: Sequence[float] = FIG14_TIMEOUTS_MS,
+    blocks: int = 20,
+    grads_per_packet: int = 256,
+    detector_threads: int = 20,
+) -> List[Fig14Row]:
+    """Figure 14: time from sending an aggregation packet to receiving the
+    (partial) result, with one permanently straggling server.
+
+    Four servers on one PFE; server 4 never sends; the others send
+    ``blocks`` back-to-back packets each.  Every block must age out, so
+    the measured latency is the straggler-detection time — the paper's
+    claim is that it stays within 2x the timeout interval.
+    """
+    rows: List[Fig14Row] = []
+    for timeout_ms in timeouts_ms:
+        env = Environment()
+        config = TrioMLJobConfig(
+            grads_per_packet=grads_per_packet,
+            window=blocks,
+            timeout_s=timeout_ms / 1e3,
+            detector_threads=detector_threads,
+        )
+        testbed = build_single_pfe_testbed(
+            env, config, num_workers=4, with_detector=True
+        )
+        vector = [1] * (grads_per_packet * blocks)
+        senders = testbed.workers[:3]  # server 4 is the straggler
+        procs = [env.process(w.allreduce(vector)) for w in senders]
+        env.run(until=env.all_of(procs))
+        mitigation_ms: List[float] = []
+        for worker in senders:
+            for key, sent in worker.send_times.items():
+                received = worker.result_times.get(key)
+                if received is not None:
+                    mitigation_ms.append((received - sent) * 1e3)
+        rows.append(
+            Fig14Row(
+                timeout_ms=timeout_ms,
+                mean_mitigation_ms=sum(mitigation_ms) / len(mitigation_ms),
+                max_mitigation_ms=max(mitigation_ms),
+                blocks_mitigated=len(mitigation_ms),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: aggregation latency and rate vs gradients per packet
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig15Row:
+    grads_per_packet: int
+    latency_us: float
+    rate_grads_per_us: float
+
+
+def fig15_latency_rate(
+    grad_counts: Sequence[int] = FIG15_GRAD_COUNTS,
+    blocks: int = 100,
+) -> List[Fig15Row]:
+    """Figure 15: per-PFE aggregation latency (window = 1) and the derived
+    aggregation rate, as gradients-per-packet grows."""
+    rows: List[Fig15Row] = []
+    for grads in grad_counts:
+        env = Environment()
+        config = TrioMLJobConfig(grads_per_packet=grads, window=1)
+        testbed = build_single_pfe_testbed(env, config, num_workers=4)
+        vector = [1] * (grads * blocks)
+        procs = testbed.run_allreduce([vector] * 4)
+        env.run(until=env.all_of(procs))
+        latencies = testbed.handle.aggregator.packet_latencies
+        mean_latency_s = sum(latencies) / len(latencies)
+        rows.append(
+            Fig15Row(
+                grads_per_packet=grads,
+                latency_us=mean_latency_s * 1e6,
+                rate_grads_per_us=grads / (mean_latency_s * 1e6),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: window sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig16Row:
+    window: int
+    latency_us: float
+    throughput_gbps: float
+
+
+def fig16_window_sweep(
+    windows: Sequence[int] = FIG16_WINDOWS,
+    grad_counts: Sequence[int] = (512, 1024),
+    blocks_for: Optional[Callable[[int], int]] = None,
+) -> Dict[int, List[Fig16Row]]:
+    """Figure 16: aggregation latency and PFE throughput vs window size,
+    for Trio-ML-512 and Trio-ML-1024."""
+    if blocks_for is None:
+        blocks_for = lambda window: max(128, min(2 * window, window + 1024))
+    results: Dict[int, List[Fig16Row]] = {}
+    for grads in grad_counts:
+        rows: List[Fig16Row] = []
+        for window in windows:
+            blocks = blocks_for(window)
+            env = Environment()
+            config = TrioMLJobConfig(grads_per_packet=grads, window=window)
+            testbed = build_single_pfe_testbed(env, config, num_workers=4)
+            vector = [1] * (grads * blocks)
+            start = env.now
+            procs = testbed.run_allreduce([vector] * 4)
+            env.run(until=env.all_of(procs))
+            elapsed = env.now - start
+            aggregator = testbed.handle.aggregator
+            latencies = aggregator.packet_latencies
+            total_bits = aggregator.gradients_aggregated * 32
+            rows.append(
+                Fig16Row(
+                    window=window,
+                    latency_us=sum(latencies) / len(latencies) * 1e6,
+                    throughput_gbps=total_bits / elapsed / 1e9,
+                )
+            )
+        results[grads] = rows
+    return results
+
+
+# ---------------------------------------------------------------------------
+# §6.3 Microcode program analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramAnalysis:
+    """The numbers §6.3's prose reports."""
+
+    static_instructions: int
+    loop_instructions_per_gradient: float
+    measured_instructions_per_gradient: float
+    rmw_engines: int
+    rmw_add_cycles: int
+    rmw_add_rate_ops_per_s: float
+
+
+def microcode_program_analysis(
+    grads_per_packet: int = 1024, blocks: int = 32
+) -> ProgramAnalysis:
+    """Reproduce the §6.3 program analysis: ~60 static instructions,
+    ~1.2 run-time instructions per gradient in the aggregation loop, and
+    6 billion RMW add operations per second per PFE."""
+    env = Environment()
+    config = TrioMLJobConfig(grads_per_packet=grads_per_packet, window=8)
+    testbed = build_single_pfe_testbed(env, config, num_workers=4)
+    vector = [1] * (grads_per_packet * blocks)
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    aggregator = testbed.handle.aggregator
+    total_instructions = sum(
+        ppe.instructions_executed for ppe in testbed.pfe.ppes
+    )
+    chipset = testbed.pfe.config
+    return ProgramAnalysis(
+        static_instructions=STATIC_PROGRAM_INSTRUCTIONS,
+        loop_instructions_per_gradient=INSTRUCTIONS_PER_GRADIENT,
+        measured_instructions_per_gradient=(
+            total_instructions / aggregator.gradients_aggregated
+        ),
+        rmw_engines=chipset.num_rmw_engines,
+        rmw_add_cycles=chipset.rmw_add32_cycles,
+        rmw_add_rate_ops_per_s=chipset.rmw_add32_rate_ops_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AblationRow:
+    """Generic (label, value) ablation result."""
+
+    label: str
+    value: float
+    unit: str
+
+
+# ---------------------------------------------------------------------------
+# Supplementary: packet-loss resiliency (§7 provisions, implemented)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LossRow:
+    loss_rate: float
+    completion_ms: float
+    frames_lost: int
+    retransmissions: int
+    results_replayed: int
+
+
+def loss_recovery_sweep(
+    loss_rates: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.10),
+    blocks: int = 32,
+    grads_per_packet: int = 256,
+) -> List[LossRow]:
+    """Supplementary experiment: allreduce completion under transient
+    packet loss with the §7 resiliency provisions enabled (worker
+    retransmission + aggregator Result replay).  Every run must complete
+    with exact sums; higher loss costs retransmission round trips."""
+    rows: List[LossRow] = []
+    for loss_rate in loss_rates:
+        env = Environment()
+        config = TrioMLJobConfig(
+            grads_per_packet=grads_per_packet,
+            window=8,
+            loss_recovery=True,
+            retransmit_timeout_s=0.002,
+        )
+        testbed = build_single_pfe_testbed(
+            env, config, num_workers=4, link_loss_rate=loss_rate
+        )
+        vector = [1] * (grads_per_packet * blocks)
+        procs = testbed.run_allreduce([vector] * 4)
+        env.run(until=env.all_of(procs))
+        for proc in procs:
+            if any(block.values != [4] * grads_per_packet
+                   for block in proc.value):
+                raise AssertionError(
+                    f"loss recovery produced a wrong sum at {loss_rate:.0%}"
+                )
+        runtime = next(iter(testbed.handle.runtimes.values()))
+        rows.append(
+            LossRow(
+                loss_rate=loss_rate,
+                completion_ms=env.now * 1e3,
+                frames_lost=sum(l.frames_lost
+                                for l in testbed.topology.links),
+                retransmissions=sum(w.retransmissions
+                                    for w in testbed.workers),
+                results_replayed=runtime.results_replayed,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Supplementary: generation scaling (§2's six generations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GenerationRow:
+    generation: int
+    year: int
+    num_ppes: int
+    rmw_engines: int
+    completion_ms: float
+    throughput_gbps: float
+
+
+def generation_scaling(
+    generations: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    blocks: int = 128,
+    grads_per_packet: int = 512,
+    window: int = 64,
+) -> List[GenerationRow]:
+    """Supplementary experiment: the same Trio-ML aggregation job on every
+    chipset generation (§2: 16 PPEs/2 RMW engines in 2009 through 160
+    PPEs/24 engines in 2022).  Aggregation throughput scales with the RMW
+    complex, the paper's stated scaling strategy ("Juniper Networks
+    increased the number of read-modify-write engines in each generation
+    ... so that the memory bandwidth increases with the packet processing
+    bandwidth", §2.3)."""
+    rows: List[GenerationRow] = []
+    for gen in generations:
+        chipset = GENERATIONS[gen]
+        env = Environment()
+        config = TrioMLJobConfig(grads_per_packet=grads_per_packet,
+                                 window=window)
+        testbed = build_single_pfe_testbed(
+            env, config, num_workers=4, chipset=chipset
+        )
+        vector = [1] * (grads_per_packet * blocks)
+        procs = testbed.run_allreduce([vector] * 4)
+        env.run(until=env.all_of(procs))
+        aggregator = testbed.handle.aggregator
+        total_bits = aggregator.gradients_aggregated * 32
+        rows.append(
+            GenerationRow(
+                generation=gen,
+                year=chipset.year,
+                num_ppes=chipset.num_ppes,
+                rmw_engines=chipset.num_rmw_engines,
+                completion_ms=env.now * 1e3,
+                throughput_gbps=total_bits / env.now / 1e9,
+            )
+        )
+    return rows
+
+
+def ablation_rmw_offload(num_threads: int = 64,
+                         updates_per_thread: int = 32) -> List[AblationRow]:
+    """§2.3's design argument: offloading read-modify-writes to engines
+    next to memory vs giving one thread ownership of the location.
+
+    Simulates ``num_threads`` concurrent threads all incrementing the
+    same counter.  The lock-based variant pays two memory round trips
+    (read, then write) per update while holding the location; the RMW
+    engine pays one service slot next to the memory.
+    """
+    config = GENERATIONS[5]
+
+    def run_rmw() -> float:
+        env = Environment()
+        pfe = PFE(env, "pfe", config=config, num_ports=1)
+        addr = pfe.memory.alloc(16, region="sram", align=16)
+
+        def worker():
+            for __ in range(updates_per_thread):
+                yield from pfe.memory.counter_inc(addr, 100)
+
+        procs = [env.process(worker()) for __ in range(num_threads)]
+        env.run(until=env.all_of(procs))
+        return env.now
+
+    def run_lock() -> float:
+        env = Environment()
+        pfe = PFE(env, "pfe", config=config, num_ports=1)
+        addr = pfe.memory.alloc(16, region="sram", align=16)
+        lock = Resource(env)
+
+        def worker():
+            for __ in range(updates_per_thread):
+                yield lock.request()
+                try:
+                    # Move the data to the thread, modify, move it back.
+                    raw = yield from pfe.memory.read(addr, 16)
+                    packets = int.from_bytes(raw[:8], "little") + 1
+                    nbytes = int.from_bytes(raw[8:], "little") + 100
+                    yield from pfe.memory.write(
+                        addr,
+                        packets.to_bytes(8, "little")
+                        + nbytes.to_bytes(8, "little"),
+                    )
+                finally:
+                    lock.release()
+
+        procs = [env.process(worker()) for __ in range(num_threads)]
+        env.run(until=env.all_of(procs))
+        return env.now
+
+    return [
+        AblationRow("rmw-engine offload", run_rmw() * 1e6, "us"),
+        AblationRow("thread-ownership lock", run_lock() * 1e6, "us"),
+    ]
+
+
+def ablation_scan_threads(
+    thread_counts: Sequence[int] = (1, 10, 100),
+    num_records: int = 20_000,
+) -> List[AblationRow]:
+    """§5's design argument: N parallel timer threads each scanning 1/N of
+    a large hash table vs one thread scanning everything.  Reports the
+    wall time of one full sweep."""
+    rows: List[AblationRow] = []
+    for num_threads in thread_counts:
+        env = Environment()
+        pfe = PFE(env, "pfe", config=GENERATIONS[5], num_ports=1)
+        table = pfe.hash_table
+        for i in range(num_records):
+            table.insert_nowait(("job", i), i)
+
+        def sweep(index: int, n: int = num_threads):
+            def work(tctx):
+                records = yield from table.scan_segment(index, n)
+                yield from tctx.execute(2 * len(records))
+
+            return work
+
+        procs = [
+            pfe.spawn_internal_thread(sweep(i), name=f"scan{i}")
+            for i in range(num_threads)
+        ]
+        env.run(until=env.all_of(procs))
+        rows.append(
+            AblationRow(f"{num_threads} scan threads", env.now * 1e6, "us")
+        )
+    return rows
+
+
+def ablation_hierarchy(blocks: int = 512,
+                       grads_per_packet: int = 512,
+                       window: int = 256) -> List[AblationRow]:
+    """§4's hierarchical aggregation: six workers on one PFE vs three per
+    first-level PFE with a top-level aggregator.
+
+    Reports allreduce completion time in two regimes: a small
+    latency-bound stream (window 4), where the extra level only adds
+    fabric hops, and a saturating stream (the defaults), where hierarchy
+    spreads the RMW-add load — each first-level PFE sums 3 streams and
+    the top level only 2, instead of one complex summing all 6 — and
+    wins on completion time.
+    """
+
+    def run(build, config) -> float:
+        env = Environment()
+        testbed = build(env, config)
+        n = blocks if config.window >= window else max(16, blocks // 8)
+        vector = [1] * (grads_per_packet * n)
+        procs = testbed.run_allreduce([vector] * 6)
+        env.run(until=env.all_of(procs))
+        return env.now
+
+    def flat_build(env, config):
+        return build_single_pfe_testbed(env, config, num_workers=6)
+
+    def hier_build(env, config):
+        return build_hierarchical_testbed(env, config)
+
+    rows: List[AblationRow] = []
+    for label, win in (("latency regime, window 4", 4),
+                       (f"saturating regime, window {window}", window)):
+        config = TrioMLJobConfig(grads_per_packet=grads_per_packet,
+                                 window=win)
+        flat_time = run(flat_build, config)
+        config = TrioMLJobConfig(grads_per_packet=grads_per_packet,
+                                 window=win)
+        hier_time = run(hier_build, config)
+        rows.append(AblationRow(
+            f"single-level, {label}", flat_time * 1e3, "ms"))
+        rows.append(AblationRow(
+            f"hierarchical, {label}", hier_time * 1e3, "ms"))
+    return rows
+
+
+def ablation_tail_chunk(
+    chunk_sizes: Sequence[int] = (16, 32, 64),
+    grads_per_packet: int = 1024,
+    blocks: int = 32,
+) -> List[AblationRow]:
+    """Figure 10's 64-byte tail-chunk loop: smaller chunks mean more
+    Memory-and-Queueing-Subsystem round trips per packet."""
+    rows: List[AblationRow] = []
+    for chunk in chunk_sizes:
+        env = Environment()
+        config = TrioMLJobConfig(grads_per_packet=grads_per_packet, window=1)
+        testbed = build_single_pfe_testbed(env, config, num_workers=4)
+        testbed.handle.aggregator.tail_chunk_bytes = chunk
+        vector = [1] * (grads_per_packet * blocks)
+        procs = testbed.run_allreduce([vector] * 4)
+        env.run(until=env.all_of(procs))
+        latencies = testbed.handle.aggregator.packet_latencies
+        rows.append(
+            AblationRow(
+                f"{chunk}-byte tail chunks",
+                sum(latencies) / len(latencies) * 1e6,
+                "us",
+            )
+        )
+    return rows

@@ -1,0 +1,160 @@
+"""Builders for the paper's testbed topologies (Figure 11).
+
+* :func:`build_single_pfe_testbed` — the §6.3 microbenchmark setup: four
+  servers on one PFE, single-level aggregation.
+* :func:`build_hierarchical_testbed` — the full Figure 11(b) setup: an
+  MX480-style chassis with six PFEs, three servers on PFE1 and three on
+  PFE2, PFE4 as the top-level aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.topology import Topology
+from repro.sim import Environment
+from repro.trio.chipset import TrioChipsetConfig
+from repro.trio.pfe import PFE
+from repro.trio.router import TrioRouter
+from repro.trioml.config import (
+    JobHandle,
+    TrioMLJobConfig,
+    setup_hierarchical_job,
+    setup_single_level_job,
+)
+from repro.trioml.worker import TrioMLWorker
+
+__all__ = [
+    "HierarchicalTestbed",
+    "SinglePfeTestbed",
+    "build_hierarchical_testbed",
+    "build_single_pfe_testbed",
+]
+
+#: Optional per-worker straggle hook factory: worker index -> hook or None.
+HookFactory = Callable[[int], Optional[Callable[[int], float]]]
+
+
+@dataclass
+class SinglePfeTestbed:
+    """Four servers on one PFE (the §6.3 benchmark setup)."""
+
+    env: Environment
+    pfe: PFE
+    workers: List[TrioMLWorker]
+    handle: JobHandle
+    topology: Topology
+
+    def run_allreduce(self, gradient_vectors: List[List[int]]):
+        """Start one allreduce per worker; returns the processes."""
+        return [
+            self.env.process(worker.allreduce(vector))
+            for worker, vector in zip(self.workers, gradient_vectors)
+        ]
+
+
+@dataclass
+class HierarchicalTestbed:
+    """Six servers across two line cards with a top-level aggregator PFE."""
+
+    env: Environment
+    router: TrioRouter
+    workers: List[TrioMLWorker]
+    handle: JobHandle
+    topology: Topology
+
+    def run_allreduce(self, gradient_vectors: List[List[int]]):
+        return [
+            self.env.process(worker.allreduce(vector))
+            for worker, vector in zip(self.workers, gradient_vectors)
+        ]
+
+
+def _make_worker(env: Environment, index: int, config: TrioMLJobConfig,
+                 straggle_hook=None) -> TrioMLWorker:
+    return TrioMLWorker(
+        env,
+        name=f"server{index + 1}",
+        src_id=index,
+        job_id=config.job_id,
+        mac=MACAddress(0x02_00_00_00_00_01 + index),
+        ip=IPv4Address(f"10.0.0.{index + 1}"),
+        router_mac=config.router_mac,
+        service_ip=config.service_ip,
+        grads_per_packet=config.grads_per_packet,
+        window=config.window,
+        straggle_hook=straggle_hook,
+        retransmit_timeout_s=config.retransmit_timeout_s,
+    )
+
+
+def build_single_pfe_testbed(
+    env: Environment,
+    config: Optional[TrioMLJobConfig] = None,
+    num_workers: int = 4,
+    chipset: Optional[TrioChipsetConfig] = None,
+    with_detector: bool = False,
+    hook_factory: Optional[HookFactory] = None,
+    link_loss_rate: float = 0.0,
+) -> SinglePfeTestbed:
+    """Four (by default) servers connected to the same PFE (§6.3)."""
+    config = config or TrioMLJobConfig()
+    pfe = PFE(env, "pfe1", config=chipset, num_ports=num_workers)
+    topology = Topology(env)
+    workers: List[TrioMLWorker] = []
+    ports: Dict[str, str] = {}
+    for index in range(num_workers):
+        hook = hook_factory(index) if hook_factory else None
+        worker = _make_worker(env, index, config, hook)
+        topology.add_host(worker)
+        topology.connect(worker.nic.port, pfe.port(index),
+                         loss_rate=link_loss_rate, loss_seed=index + 1)
+        ports[worker.name] = pfe.port(index).name
+        workers.append(worker)
+    handle = setup_single_level_job(
+        pfe, config, workers, ports, with_detector=with_detector
+    )
+    if with_detector:
+        handle.start_detectors()
+    return SinglePfeTestbed(
+        env=env, pfe=pfe, workers=workers, handle=handle, topology=topology
+    )
+
+
+def build_hierarchical_testbed(
+    env: Environment,
+    config: Optional[TrioMLJobConfig] = None,
+    chipset: Optional[TrioChipsetConfig] = None,
+    with_detector: bool = False,
+    hook_factory: Optional[HookFactory] = None,
+) -> HierarchicalTestbed:
+    """The Figure 11(b) topology: six servers, PFE1/PFE2 first level,
+    PFE4 top-level aggregator."""
+    config = config or TrioMLJobConfig()
+    router = TrioRouter(env, num_pfes=6, ports_per_pfe=4, config=chipset)
+    topology = Topology(env)
+    workers: List[TrioMLWorker] = []
+    ports: Dict[str, tuple] = {}
+    first_level: Dict[str, List[TrioMLWorker]] = {"pfe1": [], "pfe2": []}
+    for index in range(6):
+        pfe_name = "pfe1" if index < 3 else "pfe2"
+        port_index = index % 3
+        hook = hook_factory(index) if hook_factory else None
+        worker = _make_worker(env, index, config, hook)
+        topology.add_host(worker)
+        topology.connect(worker.nic.port, router.pfe(pfe_name).port(port_index))
+        ports[worker.name] = (pfe_name, f"{pfe_name}.p{port_index}")
+        first_level[pfe_name].append(worker)
+        workers.append(worker)
+    handle = setup_hierarchical_job(
+        router, config, first_level, ports, top_pfe="pfe4",
+        with_detector=with_detector,
+    )
+    if with_detector:
+        handle.start_detectors()
+    return HierarchicalTestbed(
+        env=env, router=router, workers=workers, handle=handle,
+        topology=topology,
+    )

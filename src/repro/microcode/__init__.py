@@ -1,0 +1,55 @@
+"""Trio's Microcode programming environment (§3).
+
+This package implements a working subset of the C-like Microcode language
+and its toolchain:
+
+* :mod:`repro.microcode.lexer` / :mod:`repro.microcode.parser` — front end
+  for the dialect the paper's §3.2 example is written in (struct bitfield
+  definitions, ``label: begin … end`` instruction blocks, C-style
+  expressions, ``goto``, intrinsic XTXN calls).
+* :mod:`repro.microcode.layout` — bitfield struct layout (the packet
+  header definition format "similar to that of P4").
+* :mod:`repro.microcode.compiler` — the Trio Compiler (TC): whole-program
+  compilation, symbol resolution, and the per-instruction resource budget
+  check (a single instruction can perform four register or two local
+  memory reads, and two register or two local memory writes; code that
+  does not fit in its instruction fails compilation, §3.1).
+* :mod:`repro.microcode.interp` — executes a compiled program on a PPE
+  thread, charging one datapath-instruction latency per Microcode
+  instruction and issuing real XTXNs for intrinsics like
+  ``CounterIncPhys``.
+* :mod:`repro.microcode.programs` — shipped programs, including the §3.2
+  packet filtering application.
+"""
+
+from repro.microcode.errors import (
+    CompileError,
+    LexError,
+    MicrocodeError,
+    MicrocodeRuntimeError,
+    ParseError,
+)
+from repro.microcode.lexer import Token, tokenize
+from repro.microcode.layout import StructLayout, read_bits, write_bits
+from repro.microcode.compiler import CompiledProgram, TrioCompiler
+from repro.microcode.disasm import disassemble
+from repro.microcode.interp import MicrocodeExecutor
+from repro.microcode.programs import FILTER_PROGRAM_SOURCE
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "FILTER_PROGRAM_SOURCE",
+    "LexError",
+    "MicrocodeError",
+    "MicrocodeExecutor",
+    "MicrocodeRuntimeError",
+    "ParseError",
+    "StructLayout",
+    "Token",
+    "TrioCompiler",
+    "disassemble",
+    "read_bits",
+    "tokenize",
+    "write_bits",
+]

@@ -1,0 +1,133 @@
+"""Disassembler / pretty-printer for compiled Microcode programs.
+
+Renders a :class:`~repro.microcode.compiler.CompiledProgram` back to
+readable source-like text, annotated with what TC resolved: struct sizes,
+constant values, register assignments, pointer bindings, and each
+instruction's operand-budget usage.  Used for debugging programs and for
+golden-output tests of the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.microcode import ast_nodes as ast
+from repro.microcode.compiler import CompiledProgram
+
+__all__ = ["disassemble", "format_expr", "format_stmt"]
+
+_INDENT = "    "
+
+
+def format_expr(expr) -> str:
+    """Render an expression AST back to source text."""
+    if isinstance(expr, ast.IntLit):
+        return hex(expr.value) if expr.value >= 4096 else str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.SizeOf):
+        return f"sizeof({expr.type_name})"
+    if isinstance(expr, ast.Member):
+        joiner = "->" if expr.arrow else "."
+        return f"{format_expr(expr.base)}{joiner}{expr.field_name}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{format_expr(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return (f"({format_expr(expr.left)} {expr.op} "
+                f"{format_expr(expr.right)})")
+    return f"<?{type(expr).__name__}?>"
+
+
+def format_stmt(stmt, depth: int = 1) -> List[str]:
+    """Render one statement as indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{format_expr(stmt.target)} = {format_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.LocalConst):
+        if stmt.is_pointer:
+            decl = f"const {stmt.type_name} *{stmt.name}"
+        else:
+            decl = f"const : {stmt.name}"
+        return [f"{pad}{decl} = {format_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({format_expr(stmt.cond)}) {{"]
+        for sub in stmt.then_body:
+            lines.extend(format_stmt(sub, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for sub in stmt.else_body:
+                lines.extend(format_stmt(sub, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Goto):
+        return [f"{pad}goto {stmt.label};"]
+    if isinstance(stmt, ast.ExitStmt):
+        return [f"{pad}exit;"]
+    if isinstance(stmt, ast.CallSub):
+        return [f"{pad}call {stmt.label};"]
+    if isinstance(stmt, ast.ReturnStmt):
+        return [f"{pad}return;"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(format_expr(arg) for arg in stmt.args)
+        return [f"{pad}{stmt.name}({args});"]
+    if isinstance(stmt, ast.Switch):
+        lines = [f"{pad}switch ({format_expr(stmt.selector)}) {{"]
+        for case in stmt.cases:
+            if case.values is None:
+                lines.append(f"{pad}{_INDENT}default:")
+            else:
+                values = ", ".join(format_expr(v) for v in case.values)
+                lines.append(f"{pad}{_INDENT}case {values}:")
+            for sub in case.body:
+                lines.extend(format_stmt(sub, depth + 2))
+        lines.append(f"{pad}}}")
+        return lines
+    return [f"{pad}<?{type(stmt).__name__}?>"]
+
+
+def disassemble(program: CompiledProgram) -> str:
+    """Render the whole compiled program with TC's resolution annotations."""
+    lines: List[str] = []
+    lines.append(f"// entry: {program.entry}")
+    if program.extern_labels:
+        lines.append(
+            "// externs: " + ", ".join(sorted(program.extern_labels))
+        )
+    lines.append("")
+
+    for name, layout in program.structs.items():
+        lines.append(f"struct {name} {{  // {layout.size_bytes} bytes")
+        for field in layout.fields.values():
+            lines.append(
+                f"{_INDENT}{field.name} : {field.width};"
+                f"  // bit offset {field.bit_offset}"
+            )
+        lines.append("};")
+        lines.append("")
+
+    for name, value in program.consts.items():
+        lines.append(f"const {name} = {value:#x};")
+    for name, index in program.reg_map.items():
+        lines.append(f"reg {name};  // GPR r{index}")
+    for name, (struct_name, offset) in program.ptr_map.items():
+        lines.append(f"ptr {name} = {struct_name} @ {offset};  // LMEM byte "
+                     f"{offset}")
+    if program.consts or program.reg_map or program.ptr_map:
+        lines.append("")
+
+    for name, instr in program.instructions.items():
+        budget = program.budgets.get(name)
+        if budget is not None:
+            lines.append(
+                f"{name}:  // reads: {budget.reg_reads} reg "
+                f"/ {budget.mem_reads} mem; writes: {budget.reg_writes} reg "
+                f"/ {budget.mem_writes} mem"
+            )
+        else:
+            lines.append(f"{name}:")
+        lines.append("begin")
+        for stmt in instr.body:
+            lines.extend(format_stmt(stmt))
+        lines.append("end")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,42 @@
+"""Error types for the Microcode toolchain."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "MicrocodeError",
+    "MicrocodeRuntimeError",
+    "ParseError",
+]
+
+
+class MicrocodeError(Exception):
+    """Base class for all Microcode toolchain errors."""
+
+
+class LexError(MicrocodeError):
+    """Malformed token in the source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, col {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(MicrocodeError):
+    """The token stream does not form a valid program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"line {line}, col {column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(MicrocodeError):
+    """TC rejected the program (unknown symbol, resource budget, …)."""
+
+
+class MicrocodeRuntimeError(MicrocodeError):
+    """A fault while executing a compiled program on a PPE thread."""

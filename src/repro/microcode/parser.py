@@ -1,0 +1,367 @@
+"""Recursive-descent parser for the Microcode dialect.
+
+Grammar (informal)::
+
+    program      := (struct_def | const_def | reg_def | ptr_def
+                     | instruction)*
+    struct_def   := 'struct' IDENT '{' field* '}' ';'
+    field        := [IDENT] ':' INT ';'
+    const_def    := 'const' IDENT '=' expr ';'
+    reg_def      := 'reg' IDENT ';'
+    ptr_def      := 'ptr' IDENT '=' IDENT '@' expr ';'
+    instruction  := IDENT ':' 'begin' stmt* 'end'
+    stmt         := assign | local_const | if | goto | exit | call
+    local_const  := 'const' (IDENT '*' | ':') IDENT '=' expr ';'
+    if           := 'if' '(' expr ')' block ['else' block]
+    block        := '{' stmt* '}' | stmt
+    goto         := 'goto' IDENT ';'
+    exit         := 'exit' ';'
+    call         := IDENT '(' [expr (',' expr)*] ')' ';'
+    assign       := lvalue '=' expr ';'
+
+Expressions support the C operators Microcode uses, with standard
+precedence; ``sizeof(type)`` yields the struct size in bytes; pointer
+arithmetic is byte-based.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.microcode import ast_nodes as ast
+from repro.microcode.errors import ParseError
+from repro.microcode.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+#: Binary operator precedence, low to high.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line, token.column,
+            )
+        return self.next()
+
+    # -- top level -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.at("eof"):
+            if self.at("keyword", "struct") or self.at("keyword", "union"):
+                program.structs.append(self.parse_struct())
+            elif self.at("keyword", "const"):
+                program.consts.append(self.parse_top_const())
+            elif self.at("keyword", "reg"):
+                program.regs.append(self.parse_reg())
+            elif self.at("keyword", "ptr"):
+                program.ptrs.append(self.parse_ptr())
+            elif self.at("ident") and self.peek(1).text == ":":
+                program.instructions.append(self.parse_instruction())
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"unexpected {token.text or token.kind!r} at top level",
+                    token.line, token.column,
+                )
+        return program
+
+    def parse_struct(self) -> ast.StructDef:
+        keyword = self.next()  # struct / union (unions laid out like structs)
+        name = self.expect("ident").text
+        self.expect("op", "{")
+        fields: List[Tuple[Optional[str], int]] = []
+        while not self.at("op", "}"):
+            field_name: Optional[str] = None
+            if self.at("ident"):
+                field_name = self.next().text
+            self.expect("op", ":")
+            width_token = self.expect("int")
+            fields.append((field_name, int(width_token.text, 0)))
+            self.expect("op", ";")
+        self.expect("op", "}")
+        self.expect("op", ";")
+        return ast.StructDef(name=name, fields=fields, line=keyword.line)
+
+    def parse_top_const(self) -> ast.ConstDef:
+        keyword = self.expect("keyword", "const")
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ConstDef(name=name, expr=expr, line=keyword.line)
+
+    def parse_reg(self) -> ast.RegDef:
+        keyword = self.expect("keyword", "reg")
+        name = self.expect("ident").text
+        self.expect("op", ";")
+        return ast.RegDef(name=name, line=keyword.line)
+
+    def parse_ptr(self) -> ast.PtrDef:
+        keyword = self.expect("keyword", "ptr")
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        struct_name = self.expect("ident").text
+        self.expect("op", "@")
+        offset = self.parse_expr()
+        self.expect("op", ";")
+        return ast.PtrDef(
+            name=name, struct_name=struct_name, offset_expr=offset,
+            line=keyword.line,
+        )
+
+    def parse_instruction(self) -> ast.InstructionDef:
+        name_token = self.expect("ident")
+        self.expect("op", ":")
+        self.expect("keyword", "begin")
+        body: List[object] = []
+        while not self.at("keyword", "end"):
+            body.append(self.parse_stmt())
+        self.expect("keyword", "end")
+        return ast.InstructionDef(
+            name=name_token.text, body=body, line=name_token.line
+        )
+
+    # -- statements -------------------------------------------------------
+
+    def parse_stmt(self):
+        if self.at("keyword", "const"):
+            return self.parse_local_const()
+        if self.at("keyword", "if"):
+            return self.parse_if()
+        if self.at("keyword", "goto"):
+            keyword = self.next()
+            label = self.expect("ident").text
+            self.expect("op", ";")
+            return ast.Goto(label=label, line=keyword.line)
+        if self.at("keyword", "exit"):
+            keyword = self.next()
+            self.expect("op", ";")
+            return ast.ExitStmt(line=keyword.line)
+        if self.at("keyword", "call"):
+            keyword = self.next()
+            label = self.expect("ident").text
+            self.expect("op", ";")
+            return ast.CallSub(label=label, line=keyword.line)
+        if self.at("keyword", "return"):
+            keyword = self.next()
+            self.expect("op", ";")
+            return ast.ReturnStmt(line=keyword.line)
+        if self.at("keyword", "switch"):
+            return self.parse_switch()
+        # Call statement: IDENT '(' ... ')' ';'
+        if self.at("ident") and self.peek(1).text == "(":
+            name_token = self.next()
+            self.expect("op", "(")
+            args: List[object] = []
+            if not self.at("op", ")"):
+                args.append(self.parse_expr())
+                while self.at("op", ","):
+                    self.next()
+                    args.append(self.parse_expr())
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.CallStmt(
+                name=name_token.text, args=args, line=name_token.line
+            )
+        # Otherwise: assignment.
+        target = self.parse_postfix()
+        equals = self.expect("op", "=")
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        if not isinstance(target, (ast.Name, ast.Member)):
+            raise ParseError(
+                "assignment target must be a register, variable, or field",
+                equals.line, equals.column,
+            )
+        return ast.Assign(target=target, expr=expr, line=equals.line)
+
+    def parse_local_const(self):
+        keyword = self.expect("keyword", "const")
+        type_name: Optional[str] = None
+        is_pointer = False
+        if self.at("op", ":"):
+            self.next()
+        else:
+            type_name = self.expect("ident").text
+            self.expect("op", "*")
+            is_pointer = True
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.LocalConst(
+            name=name, type_name=type_name, is_pointer=is_pointer,
+            expr=expr, line=keyword.line,
+        )
+
+    def parse_if(self) -> ast.If:
+        keyword = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: List[object] = []
+        if self.at("keyword", "else"):
+            self.next()
+            else_body = self.parse_block()
+        return ast.If(
+            cond=cond, then_body=then_body, else_body=else_body,
+            line=keyword.line,
+        )
+
+    def parse_switch(self) -> ast.Switch:
+        keyword = self.expect("keyword", "switch")
+        self.expect("op", "(")
+        selector = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[ast.SwitchCase] = []
+        while not self.at("op", "}"):
+            if self.at("keyword", "case"):
+                case_token = self.next()
+                values = [self.parse_expr()]
+                while self.at("op", ","):
+                    self.next()
+                    values.append(self.parse_expr())
+                self.expect("op", ":")
+                body = self.parse_case_body()
+                cases.append(ast.SwitchCase(values=values, body=body,
+                                            line=case_token.line))
+            elif self.at("keyword", "default"):
+                default_token = self.next()
+                self.expect("op", ":")
+                body = self.parse_case_body()
+                cases.append(ast.SwitchCase(values=None, body=body,
+                                            line=default_token.line))
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"expected 'case' or 'default', found "
+                    f"{token.text or token.kind!r}",
+                    token.line, token.column,
+                )
+        self.expect("op", "}")
+        return ast.Switch(selector=selector, cases=cases, line=keyword.line)
+
+    def parse_case_body(self) -> List[object]:
+        """Statements up to the next case/default/closing brace."""
+        body: List[object] = []
+        while not (self.at("keyword", "case") or self.at("keyword", "default")
+                   or self.at("op", "}")):
+            body.append(self.parse_stmt())
+        return body
+
+    def parse_block(self) -> List[object]:
+        if self.at("op", "{"):
+            self.next()
+            body: List[object] = []
+            while not self.at("op", "}"):
+                body.append(self.parse_stmt())
+            self.expect("op", "}")
+            return body
+        return [self.parse_stmt()]
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expr(self, level: int = 0):
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op_token = self.next()
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(
+                op=op_token.text, left=left, right=right, line=op_token.line
+            )
+        return left
+
+    def parse_unary(self):
+        if self.peek().kind == "op" and self.peek().text in ("-", "~", "!"):
+            op_token = self.next()
+            operand = self.parse_unary()
+            return ast.Unary(op=op_token.text, operand=operand,
+                             line=op_token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.at("op", "->"):
+                token = self.next()
+                field_name = self.expect("ident").text
+                expr = ast.Member(base=expr, field_name=field_name,
+                                  arrow=True, line=token.line)
+            elif self.at("op", "."):
+                token = self.next()
+                field_name = self.expect("ident").text
+                expr = ast.Member(base=expr, field_name=field_name,
+                                  arrow=False, line=token.line)
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            return ast.IntLit(value=int(token.text, 0), line=token.line)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.next()
+            self.expect("op", "(")
+            type_name = self.expect("ident").text
+            self.expect("op", ")")
+            return ast.SizeOf(type_name=type_name, line=token.line)
+        if token.kind == "ident":
+            self.next()
+            return ast.Name(ident=token.text, line=token.line)
+        if token.kind == "op" and token.text == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(
+            f"unexpected {token.text or token.kind!r} in expression",
+            token.line, token.column,
+        )
+
+
+def parse(source: str) -> ast.Program:
+    """Parse Microcode source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,87 @@
+"""Validation-accuracy curves and time-to-accuracy (Figure 12).
+
+The paper trains to a top-5 validation accuracy target; the quantity it
+reports is the *wall-clock* time at which each system's run crosses the
+target.  Since all systems run the same SGD (in-network aggregation is
+numerically equivalent up to quantisation), accuracy is a function of the
+iteration count alone, and the time-to-accuracy ratio between systems
+reduces to their iteration-time ratio.  We model the accuracy curve as a
+saturating exponential fitted through the model's calibrated
+``target_iterations`` (see :mod:`repro.ml.models`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ml.models import DNNModel
+
+__all__ = ["AccuracyCurve"]
+
+
+@dataclass
+class AccuracyCurve:
+    """Top-5 accuracy as a saturating exponential in the iteration count.
+
+    ``acc(i) = max - (max - initial) * exp(-i / tau)`` with ``tau`` chosen
+    so that ``acc(target_iterations) == target_accuracy``.
+    """
+
+    model: DNNModel
+
+    def __post_init__(self):
+        m = self.model
+        gap_total = m.max_accuracy - m.initial_accuracy
+        gap_target = m.max_accuracy - m.target_accuracy
+        if gap_total <= 0 or gap_target <= 0 or gap_target >= gap_total:
+            raise ValueError(
+                f"inconsistent accuracy parameters for {m.name}"
+            )
+        self.tau = m.target_iterations / math.log(gap_total / gap_target)
+
+    def accuracy_at(self, iteration: float) -> float:
+        """Top-5 validation accuracy after ``iteration`` iterations."""
+        if iteration < 0:
+            raise ValueError(f"negative iteration: {iteration}")
+        m = self.model
+        return m.max_accuracy - (
+            m.max_accuracy - m.initial_accuracy
+        ) * math.exp(-iteration / self.tau)
+
+    def iterations_to(self, accuracy: float) -> float:
+        """Iterations needed to reach ``accuracy`` (must be below max)."""
+        m = self.model
+        if not m.initial_accuracy <= accuracy < m.max_accuracy:
+            raise ValueError(
+                f"accuracy {accuracy} outside "
+                f"[{m.initial_accuracy}, {m.max_accuracy})"
+            )
+        gap_total = m.max_accuracy - m.initial_accuracy
+        gap = m.max_accuracy - accuracy
+        return self.tau * math.log(gap_total / gap)
+
+    def time_to_accuracy_s(self, accuracy: float,
+                           iteration_time_s: float) -> float:
+        """Wall-clock seconds to reach ``accuracy`` at a constant
+        per-iteration time."""
+        if iteration_time_s <= 0:
+            raise ValueError(
+                f"iteration time must be positive: {iteration_time_s}"
+            )
+        return self.iterations_to(accuracy) * iteration_time_s
+
+    def curve(self, iteration_time_s: float, until_accuracy: float,
+              points: int = 60) -> List[Tuple[float, float]]:
+        """(minutes, accuracy) samples up to ``until_accuracy`` — the
+        series a Figure 12 panel plots."""
+        total_iters = self.iterations_to(until_accuracy)
+        samples = []
+        for k in range(points + 1):
+            iteration = total_iters * k / points
+            samples.append(
+                (iteration * iteration_time_s / 60.0,
+                 self.accuracy_at(iteration))
+            )
+        return samples

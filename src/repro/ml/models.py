@@ -1,0 +1,89 @@
+"""The DNN model zoo (Table 1).
+
+Sizes, batch sizes, and dataset come straight from Table 1.  Per-iteration
+GPU compute times and accuracy-curve parameters are calibration values:
+the paper does not publish them directly, so they are fitted to make the
+Ideal (no-straggler NCCL) iteration times land where Figure 13's Ideal
+lines sit (ResNet50 ≈ 95 ms, DenseNet161 ≈ 240 ms, VGG11 ≈ 560 ms on six
+A100 workers with 100 Gbps links).  EXPERIMENTS.md records the
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DNNModel", "MODEL_ZOO"]
+
+
+@dataclass(frozen=True)
+class DNNModel:
+    """One training workload."""
+
+    name: str
+    #: Gradient/model size in megabytes (Table 1).
+    size_mb: int
+    #: Per-GPU batch size (Table 1).
+    batch_size: int
+    dataset: str
+    #: GPU compute (forward+backward) per iteration, seconds.  Calibrated.
+    compute_time_s: float
+    #: Top-5 validation accuracy the training curve saturates at.
+    max_accuracy: float
+    #: Top-5 accuracy at iteration zero (random-ish init).
+    initial_accuracy: float
+    #: Target validation accuracy used for time-to-accuracy (Figure 12).
+    target_accuracy: float
+    #: Iterations at which the *paper-shaped* curve crosses the target.
+    target_iterations: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_mb * 1024 * 1024
+
+    @property
+    def num_gradients(self) -> int:
+        """Number of float32 parameters."""
+        return self.size_bytes // 4
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Table 1, plus calibrated timing/accuracy parameters.
+MODEL_ZOO: Dict[str, DNNModel] = {
+    "resnet50": DNNModel(
+        name="ResNet50",
+        size_mb=98,
+        batch_size=64,
+        dataset="ImageNet",
+        compute_time_s=0.082,
+        max_accuracy=93.0,
+        initial_accuracy=20.0,
+        target_accuracy=90.0,
+        target_iterations=150_000,
+    ),
+    "vgg11": DNNModel(
+        name="VGG11",
+        size_mb=507,
+        batch_size=128,
+        dataset="ImageNet",
+        compute_time_s=0.490,
+        max_accuracy=89.0,
+        initial_accuracy=20.0,
+        target_accuracy=80.0,
+        target_iterations=52_000,
+    ),
+    "densenet161": DNNModel(
+        name="DenseNet161",
+        size_mb=109,
+        batch_size=64,
+        dataset="ImageNet",
+        compute_time_s=0.225,
+        max_accuracy=93.5,
+        initial_accuracy=20.0,
+        target_accuracy=90.0,
+        target_iterations=88_000,
+    ),
+}

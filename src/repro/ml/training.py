@@ -1,0 +1,160 @@
+"""Data-parallel training loop with per-system straggler semantics.
+
+Each iteration every worker computes for ``model.compute_time_s`` plus any
+straggle delays, then the gradients are aggregated:
+
+* **Ideal** — NCCL ring allreduce, stragglers never injected (§6.1):
+  ``iteration = compute + ring_time``.
+* **SwitchML** — the slot completes only when every worker contributes,
+  so the whole job waits for the slowest worker:
+  ``iteration = max_w(compute + delay_w) + switchml_time``.
+* **Trio-ML** — blocks whose straggler contribution is missing age out
+  after the timeout and complete partially, so non-straggling workers
+  wait at most the straggler-detection bound (≤ 2× the timeout, Figure
+  14) instead of the full straggle:
+  ``iteration = compute + trio_time + min(max_delay, mitigation_bound)``.
+
+The mitigation bound defaults to 1.5× the detection timeout — the mean of
+the [1×, 2×] detection window the timer-thread scheme guarantees — and
+can be set from packet-level measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ml.allreduce import (
+    ideal_allreduce_time,
+    switchml_allreduce_time,
+    trioml_allreduce_time,
+)
+from repro.ml.models import DNNModel
+from repro.ml.stragglers import SlowWorkerPattern
+
+__all__ = ["DataParallelTrainer", "IterationRecord", "TrainingConfig"]
+
+SYSTEMS = ("ideal", "switchml", "trioml")
+
+
+@dataclass
+class TrainingConfig:
+    """One training run's setup (§6.1 defaults)."""
+
+    model: DNNModel
+    system: str
+    num_workers: int = 6
+    straggle_probability: float = 0.0
+    #: Trio-ML straggler-detection timeout (§6.1: 10 ms).
+    timeout_s: float = 0.010
+    #: Expected extra wait when a block ages out: detection lands in
+    #: [1x, 2x] the timeout, so 1.5x on average (validated by Figure 14).
+    mitigation_factor: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.system not in SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; expected one of {SYSTEMS}"
+            )
+        if self.num_workers < 2:
+            raise ValueError("need at least two workers for allreduce")
+
+    @property
+    def typical_iteration_s(self) -> float:
+        """Iteration time with no stragglers under this system."""
+        return self.model.compute_time_s + self.allreduce_time_s
+
+    @property
+    def allreduce_time_s(self) -> float:
+        model_bytes = self.model.size_bytes
+        if self.system == "ideal":
+            return ideal_allreduce_time(model_bytes, self.num_workers)
+        if self.system == "switchml":
+            return switchml_allreduce_time(model_bytes)
+        return trioml_allreduce_time(model_bytes)
+
+
+@dataclass
+class IterationRecord:
+    """Timing of one training iteration."""
+
+    index: int
+    duration_s: float
+    straggle_delays: Dict[int, float] = field(default_factory=dict)
+    mitigated: bool = False
+
+    @property
+    def max_delay_s(self) -> float:
+        return max(self.straggle_delays.values(), default=0.0)
+
+
+class DataParallelTrainer:
+    """Runs iterations under one system's aggregation semantics."""
+
+    def __init__(self, config: TrainingConfig):
+        self.config = config
+        # The straggle magnitude is relative to the model's *typical*
+        # iteration time (§6.1), which we take from the Ideal system so
+        # all three systems face identically distributed slowdowns.
+        ideal = TrainingConfig(
+            model=config.model, system="ideal",
+            num_workers=config.num_workers,
+        )
+        self._typical_s = ideal.typical_iteration_s
+        self.pattern = SlowWorkerPattern(
+            probability=config.straggle_probability,
+            num_workers=config.num_workers,
+            typical_iteration_s=self._typical_s,
+            seed=config.seed,
+        )
+        self.records: List[IterationRecord] = []
+
+    @property
+    def mitigation_bound_s(self) -> float:
+        return self.config.mitigation_factor * self.config.timeout_s
+
+    def run(self, num_iterations: int) -> List[IterationRecord]:
+        """Simulate ``num_iterations``; returns (and stores) the records."""
+        config = self.config
+        compute = config.model.compute_time_s
+        comm = config.allreduce_time_s
+        records = []
+        for index in range(num_iterations):
+            if config.system == "ideal":
+                delays: Dict[int, float] = {}
+            else:
+                delays = self.pattern.sample_iteration()
+            max_delay = max(delays.values(), default=0.0)
+            mitigated = False
+            if config.system == "switchml":
+                # Every slot needs every worker: the job absorbs the
+                # slowest worker's full delay.
+                duration = compute + max_delay + comm
+            elif config.system == "trioml":
+                if max_delay > 0:
+                    # Straggling blocks age out; everyone else proceeds
+                    # after the detection bound.  The straggler drops its
+                    # stale blocks and rejoins (§5).
+                    mitigation = min(max_delay, self.mitigation_bound_s)
+                    duration = compute + comm + mitigation
+                    mitigated = True
+                else:
+                    duration = compute + comm
+            else:
+                duration = compute + comm
+            record = IterationRecord(
+                index=index,
+                duration_s=duration,
+                straggle_delays=delays,
+                mitigated=mitigated,
+            )
+            records.append(record)
+        self.records.extend(records)
+        return records
+
+    def average_iteration_s(self, num_iterations: int = 100) -> float:
+        """Mean iteration time over a fresh run of ``num_iterations``
+        (the paper reports the average of the first 100 iterations)."""
+        records = self.run(num_iterations)
+        return sum(r.duration_s for r in records) / len(records)

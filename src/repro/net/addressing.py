@@ -1,0 +1,155 @@
+"""MAC and IPv4 address value types.
+
+Both types are thin immutable wrappers over integers with parsing and
+formatting helpers, so headers can pack them into wire format without
+string munging at the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["MACAddress", "IPv4Address"]
+
+
+class MACAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __init__(self, value: Union[int, str, "MACAddress"]):
+        if isinstance(value, MACAddress):
+            self._value = value._value
+            return
+        if isinstance(value, str):
+            parts = value.split(":")
+            if len(parts) != 6:
+                raise ValueError(f"malformed MAC address: {value!r}")
+            try:
+                octets = [int(part, 16) for part in parts]
+            except ValueError:
+                raise ValueError(f"malformed MAC address: {value!r}") from None
+            if any(octet < 0 or octet > 0xFF for octet in octets):
+                raise ValueError(f"malformed MAC address: {value!r}")
+            accum = 0
+            for octet in octets:
+                accum = (accum << 8) | octet
+            self._value = accum
+            return
+        if isinstance(value, int):
+            if value < 0 or value > self.BROADCAST_VALUE:
+                raise ValueError(f"MAC address out of range: {value:#x}")
+            self._value = value
+            return
+        raise TypeError(f"cannot build MACAddress from {type(value).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "MACAddress":
+        """The all-ones broadcast address ff:ff:ff:ff:ff:ff."""
+        return cls(cls.BROADCAST_VALUE)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        """True if the group bit (LSB of the first octet) is set."""
+        return bool((self._value >> 40) & 0x01)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MACAddress":
+        if len(data) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        if isinstance(other, (int, str)):
+            return self._value == MACAddress(other)._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+    def __str__(self) -> str:
+        raw = self._value.to_bytes(6, "big")
+        return ":".join(f"{octet:02x}" for octet in raw)
+
+    def __repr__(self) -> str:
+        return f"MACAddress('{self}')"
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, str, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+            return
+        if isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 address: {value!r}")
+            try:
+                octets = [int(part, 10) for part in parts]
+            except ValueError:
+                raise ValueError(f"malformed IPv4 address: {value!r}") from None
+            if any(octet < 0 or octet > 255 for octet in octets):
+                raise ValueError(f"malformed IPv4 address: {value!r}")
+            accum = 0
+            for octet in octets:
+                accum = (accum << 8) | octet
+            self._value = accum
+            return
+        if isinstance(value, int):
+            if value < 0 or value > 0xFFFFFFFF:
+                raise ValueError(f"IPv4 address out of range: {value:#x}")
+            self._value = value
+            return
+        raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for 224.0.0.0/4 (class D) addresses."""
+        return (self._value >> 28) == 0xE
+
+    def __int__(self) -> int:
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        if len(data) != 4:
+            raise ValueError(f"IPv4 address needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, (int, str)):
+            return self._value == IPv4Address(other)._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self._value))
+
+    def __str__(self) -> str:
+        raw = self._value.to_bytes(4, "big")
+        return ".".join(str(octet) for octet in raw)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"

@@ -1,0 +1,54 @@
+"""Multicast group membership table.
+
+Trio-ML delivers aggregation Result packets to all workers of a job via IP
+multicast: workers join a group (IGMP registration, or static multicast
+configuration on the router), and standard forwarding replicates the Result
+to every member port (§4, "Hierarchical aggregation").  This table is the
+router-side state backing that behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.net.addressing import IPv4Address
+
+__all__ = ["MulticastGroupTable"]
+
+
+class MulticastGroupTable:
+    """Maps multicast group address -> set of member port names."""
+
+    def __init__(self):
+        self._groups: Dict[IPv4Address, Set[str]] = {}
+
+    def join(self, group: IPv4Address, port_name: str) -> None:
+        """Add ``port_name`` to ``group`` (IGMP join / static config)."""
+        group = IPv4Address(group)
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast group address")
+        self._groups.setdefault(group, set()).add(port_name)
+
+    def leave(self, group: IPv4Address, port_name: str) -> None:
+        """Remove ``port_name`` from ``group``; empty groups are deleted."""
+        group = IPv4Address(group)
+        members = self._groups.get(group)
+        if not members:
+            return
+        members.discard(port_name)
+        if not members:
+            del self._groups[group]
+
+    def members(self, group: IPv4Address) -> List[str]:
+        """Member port names of ``group`` (sorted, possibly empty)."""
+        return sorted(self._groups.get(IPv4Address(group), ()))
+
+    def groups(self) -> Iterable[IPv4Address]:
+        """All groups with at least one member."""
+        return list(self._groups)
+
+    def __contains__(self, group: object) -> bool:
+        try:
+            return IPv4Address(group) in self._groups  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False

@@ -1,0 +1,124 @@
+"""The wire-level packet object shared by all device models.
+
+A :class:`Packet` owns immutable wire bytes plus simulation metadata
+(ingress timestamps, flow identity for the Reorder Engine, an id for
+tracing).  Convenience constructors build full Ethernet/IPv4/UDP frames,
+and :meth:`parse_udp` recovers the header stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    HeaderError,
+    IPv4Header,
+    UDPHeader,
+)
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """An Ethernet frame plus simulation metadata.
+
+    Attributes:
+        data: full wire bytes of the frame.
+        packet_id: monotonically increasing id for tracing / reordering.
+        flow_key: hashable flow identity; packets with equal flow keys must
+            be delivered in arrival order (enforced by Trio's Reorder
+            Engine).
+        meta: free-form dict used by models to annotate packets (ingress
+            time, ingress port, etc.).
+    """
+
+    __slots__ = ("data", "packet_id", "flow_key", "meta")
+
+    def __init__(self, data: bytes, flow_key: Any = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.data = bytes(data)
+        self.packet_id = next(_packet_ids)
+        self.flow_key = flow_key
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def bits(self) -> int:
+        """Frame size in bits (used for serialisation delay)."""
+        return len(self.data) * 8
+
+    def copy(self) -> "Packet":
+        """A fresh packet (new id) with the same bytes and flow key."""
+        return Packet(self.data, flow_key=self.flow_key, meta=dict(self.meta))
+
+    def split(self, head_size: int) -> Tuple[bytes, bytes]:
+        """Split wire bytes into (head, tail) as Trio's PFE hardware does.
+
+        The head is the first ``head_size`` bytes (or the whole frame when
+        shorter); the tail is whatever remains.
+        """
+        if head_size <= 0:
+            raise ValueError(f"head_size must be positive, got {head_size}")
+        return self.data[:head_size], self.data[head_size:]
+
+    # ------------------------------------------------------------------
+    # Construction and parsing helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def udp(
+        cls,
+        src_mac: MACAddress,
+        dst_mac: MACAddress,
+        src_ip: IPv4Address,
+        dst_ip: IPv4Address,
+        src_port: int,
+        dst_port: int,
+        payload: bytes,
+        ttl: int = 64,
+    ) -> "Packet":
+        """Build a complete Ethernet/IPv4/UDP frame around ``payload``."""
+        udp = UDPHeader(
+            src_port=src_port, dst_port=dst_port, length=UDPHeader.LENGTH + len(payload)
+        )
+        ip = IPv4Header(
+            src=src_ip,
+            dst=dst_ip,
+            total_length=IPv4Header.MIN_LENGTH + udp.length,
+            ttl=ttl,
+        )
+        ether = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4)
+        data = ether.pack() + ip.pack() + udp.pack() + payload
+        flow_key = (int(src_ip), int(dst_ip), src_port, dst_port)
+        return cls(data, flow_key=flow_key)
+
+    def parse_ethernet(self) -> Tuple[EthernetHeader, bytes]:
+        """Parse the Ethernet header; returns (header, rest)."""
+        return EthernetHeader.parse(self.data)
+
+    def parse_udp(self) -> Tuple[EthernetHeader, IPv4Header, UDPHeader, bytes]:
+        """Parse the full Ethernet/IPv4/UDP stack; returns headers + payload.
+
+        Raises :class:`~repro.net.headers.HeaderError` if any layer is not
+        what it claims to be.
+        """
+        ether, rest = EthernetHeader.parse(self.data)
+        if ether.ethertype != ETHERTYPE_IPV4:
+            raise HeaderError(
+                f"not an IPv4 frame (ethertype={ether.ethertype:#06x})"
+            )
+        ip, rest = IPv4Header.parse(rest)
+        udp, rest = UDPHeader.parse(rest)
+        payload = rest[: udp.length - UDPHeader.LENGTH]
+        return ether, ip, udp, payload
+
+    def __repr__(self) -> str:
+        return f"<Packet id={self.packet_id} len={len(self.data)}>"

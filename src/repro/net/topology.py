@@ -1,0 +1,86 @@
+"""Topology builder: wires hosts and device ports together.
+
+Keeps an inventory of named nodes and the links between their ports, so an
+experiment can be described declaratively::
+
+    topo = Topology(env)
+    topo.add_host(worker)
+    topo.connect(worker.nic.port, router_port, bandwidth_bps=100e9)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.host import Host
+from repro.net.link import Link, Port
+from repro.sim import Environment
+
+__all__ = ["Topology"]
+
+#: Default link speed of the paper's testbed.
+DEFAULT_BANDWIDTH_BPS = 100e9
+#: A couple of metres of fibre plus PHY latency.
+DEFAULT_PROPAGATION_S = 1e-6
+
+
+class Topology:
+    """An inventory of hosts, devices, and links for one experiment."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.hosts: Dict[str, Host] = {}
+        self.devices: Dict[str, object] = {}
+        self.links: List[Link] = []
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host by its name."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name: {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def add_device(self, name: str, device: object) -> object:
+        """Register a switch/router device by name."""
+        if name in self.devices:
+            raise ValueError(f"duplicate device name: {name!r}")
+        self.devices[name] = device
+        return device
+
+    def connect(
+        self,
+        a: Port,
+        b: Port,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay_s: float = DEFAULT_PROPAGATION_S,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> Link:
+        """Create a full-duplex link between two ports."""
+        link = Link(
+            self.env,
+            a,
+            b,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay_s=propagation_delay_s,
+            loss_rate=loss_rate,
+            loss_seed=loss_seed,
+        )
+        self.links.append(link)
+        return link
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self.hosts[name]
+
+    def device(self, name: str) -> object:
+        """Look up a device by name."""
+        return self.devices[name]
+
+    def find_port(self, name: str) -> Optional[Port]:
+        """Find any connected port by its name, or None."""
+        for link in self.links:
+            for port in link.ports:
+                if port.name == name:
+                    return port
+        return None

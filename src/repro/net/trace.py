@@ -1,0 +1,135 @@
+"""Packet tracing: capture frames at ports for debugging and analysis.
+
+A :class:`PacketTracer` taps any set of ports (host NICs, PFE ports,
+Tofino ports) and records every frame with its direction and timestamp,
+without perturbing timing.  Captures can be filtered, summarised, and
+rendered as a human-readable trace — the moral equivalent of running
+tcpdump on the testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.net.headers import HeaderError
+from repro.net.link import Port
+from repro.net.packet import Packet
+
+__all__ = ["CapturedFrame", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One captured frame."""
+
+    time: float
+    port: str
+    direction: str  # "rx" or "tx"
+    packet_id: int
+    length: int
+    summary: str
+
+
+def _summarise(packet: Packet) -> str:
+    try:
+        __, ip, udp, payload = packet.parse_udp()
+        return (f"{ip.src}:{udp.src_port} > {ip.dst}:{udp.dst_port} "
+                f"UDP len={len(payload)}")
+    except HeaderError:
+        pass
+    try:
+        ether, __ = packet.parse_ethernet()
+        return (f"{ether.src} > {ether.dst} "
+                f"ethertype={ether.ethertype:#06x}")
+    except HeaderError:
+        return f"raw frame len={len(packet)}"
+
+
+class PacketTracer:
+    """Captures frames at tapped ports.
+
+    Taps wrap the port's receive handler (for "rx") and its ``send``
+    method (for "tx"); both keep original behaviour intact.
+    """
+
+    def __init__(self, max_frames: int = 100_000):
+        self.max_frames = max_frames
+        self.frames: List[CapturedFrame] = []
+        self.dropped_capacity = 0
+
+    def tap(self, port: Port, directions: Iterable[str] = ("rx", "tx")
+            ) -> None:
+        """Start capturing at ``port`` for the given directions."""
+        directions = set(directions)
+        unknown = directions - {"rx", "tx"}
+        if unknown:
+            raise ValueError(f"unknown directions: {sorted(unknown)}")
+        if "rx" in directions:
+            original_handler = port.rx_handler
+
+            def rx_handler(packet: Packet, p: Port,
+                           __orig=original_handler):
+                self._capture(p, packet, "rx")
+                if __orig is not None:
+                    return __orig(packet, p)
+                return None
+
+            port.rx_handler = rx_handler
+        if "tx" in directions:
+            original_send = port.send
+
+            def send(packet: Packet, __orig=original_send):
+                self._capture(port, packet, "tx")
+                return __orig(packet)
+
+            port.send = send
+
+    def _capture(self, port: Port, packet: Packet, direction: str) -> None:
+        if len(self.frames) >= self.max_frames:
+            self.dropped_capacity += 1
+            return
+        self.frames.append(
+            CapturedFrame(
+                time=port.env.now,
+                port=port.name,
+                direction=direction,
+                packet_id=packet.packet_id,
+                length=len(packet),
+                summary=_summarise(packet),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[CapturedFrame], bool]
+               ) -> List[CapturedFrame]:
+        """Frames matching ``predicate``, in capture order."""
+        return [frame for frame in self.frames if predicate(frame)]
+
+    def at_port(self, port_name: str) -> List[CapturedFrame]:
+        return self.filter(lambda frame: frame.port == port_name)
+
+    def counts_by_port(self) -> dict:
+        """{(port, direction): frame count}."""
+        counts: dict = {}
+        for frame in self.frames:
+            key = (frame.port, frame.direction)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """tcpdump-style text rendering of the capture."""
+        lines = []
+        frames = self.frames if limit is None else self.frames[:limit]
+        for frame in frames:
+            lines.append(
+                f"{frame.time * 1e6:12.3f}us {frame.port:<16} "
+                f"{frame.direction:<2} {frame.summary} "
+                f"({frame.length}B)"
+            )
+        if limit is not None and len(self.frames) > limit:
+            lines.append(f"... {len(self.frames) - limit} more frames")
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""PISA (Protocol Independent Switch Architecture) pipeline model.
+
+The baseline in the paper's evaluation is SwitchML running on an Intel
+Tofino switch.  This package models the architectural properties of PISA
+devices that the paper contrasts with Trio (§1, §8):
+
+* all packets traverse the **same fixed sequence of match-action stages**
+  at line rate — per-packet work is bounded by the stage count;
+* each stage owns its **register arrays**; a packet may perform at most
+  one read-modify-write per register array per pass, and **pipelines
+  cannot access each other's registers**;
+* more work than one pass allows requires **recirculation**, which
+  consumes pipeline bandwidth and adds latency;
+* there are **no timer threads**: processing happens only when a packet
+  arrives — the crux of why straggler mitigation is so hard on PISA
+  (§5 "Trio to the rescue").
+"""
+
+from repro.pisa.pipeline import (
+    P4Program,
+    PipelineError,
+    PisaPipeline,
+    RegisterArray,
+    StageContext,
+)
+from repro.pisa.tofino import TofinoSwitch
+
+__all__ = [
+    "P4Program",
+    "PipelineError",
+    "PisaPipeline",
+    "RegisterArray",
+    "StageContext",
+    "TofinoSwitch",
+]

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+This package provides the event-driven foundation for every hardware and
+network model in the reproduction: a priority-queue event loop
+(:class:`Environment`), generator-based cooperative processes
+(:class:`Process`), one-shot :class:`Event` objects, and the shared
+synchronisation primitives (:class:`Resource`, :class:`Store`) used to model
+contention for engines, links, and queues.
+
+The kernel follows the classic process-interaction style (as popularised by
+SimPy): model code is written as Python generator functions that ``yield``
+events; the environment resumes each process when the event it waits on
+fires.  Simulated time is a ``float`` whose unit is chosen by the model --
+all Trio models in this repository use **seconds**.
+"""
+
+from repro.sim.core import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityStore, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

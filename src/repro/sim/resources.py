@@ -1,0 +1,196 @@
+"""Synchronisation primitives built on the event kernel.
+
+* :class:`Resource` — a counted resource with FIFO waiters, used to model
+  exclusive engines (e.g. a read-modify-write engine port).
+* :class:`Store` — an unbounded-or-bounded FIFO of items, used to model
+  queues (dispatch queues, NIC rings, link buffers).
+* :class:`PriorityStore` — a store whose ``get`` returns the smallest item.
+
+All primitives hand out plain :class:`~repro.sim.core.Event` objects so
+model code uses one uniform ``yield`` style.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store", "PriorityStore"]
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO granting.
+
+    Usage::
+
+        req = resource.request()
+        yield req
+        ...          # critical section
+        resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, granting it to the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO item store with optional capacity.
+
+    ``put`` is an event that fires when the item has been accepted;
+    ``get`` is an event that fires with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying pending items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; fires once the store has accepted it."""
+        event = Event(self.env)
+        event.item = item
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Request the next item; fires with the item when available."""
+        event = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            self._drain_putters()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Pop an item without waiting; returns None if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._drain_putters()
+        return item
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            self._items.append(putter.item)
+            putter.succeed()
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that yields the smallest item first.
+
+    Items must be mutually orderable (tuples work well).
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        super().__init__(env, capacity)
+        self._heap: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> List[Any]:
+        return sorted(self._heap)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        event.item = item
+        if self._getters:
+            # Even with waiters the heap may hold smaller items; push then pop.
+            heapq.heappush(self._heap, item)
+            getter = self._getters.popleft()
+            getter.succeed(heapq.heappop(self._heap))
+            event.succeed()
+        elif self.capacity is None or len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._heap:
+            event.succeed(heapq.heappop(self._heap))
+            self._drain_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        if not self._heap:
+            return None
+        item = heapq.heappop(self._heap)
+        self._drain_putters()
+        return item
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._heap) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            heapq.heappush(self._heap, putter.item)
+            putter.succeed()

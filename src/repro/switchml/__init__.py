@@ -1,0 +1,33 @@
+"""SwitchML baseline: in-network aggregation on PISA/Tofino.
+
+Re-implements the aggregation protocol of Sapio et al. (NSDI'21) — the
+state-of-the-art baseline the paper compares against (§6) — on our PISA
+pipeline model:
+
+* a pool of aggregation *slots* held in per-stage register arrays;
+* workers self-clock on slot results: the pool size is the window;
+* a slot completes only when **every** worker has contributed — there is
+  no timer, so one straggling worker stalls the slot (and, transitively,
+  the whole pool), which is the semantic root of Figures 12 and 13;
+* SwitchML-64 (64 gradients/packet, one pipeline) and SwitchML-256
+  (256 gradients/packet, requires chaining all four pipelines).
+"""
+
+from repro.switchml.protocol import (
+    SWITCHML_UDP_PORT,
+    SwitchMLHeader,
+    decode_switchml,
+    encode_switchml,
+)
+from repro.switchml.switch import SwitchMLProgram, build_switchml_switch
+from repro.switchml.worker import SwitchMLWorker
+
+__all__ = [
+    "SWITCHML_UDP_PORT",
+    "SwitchMLHeader",
+    "SwitchMLProgram",
+    "SwitchMLWorker",
+    "build_switchml_switch",
+    "decode_switchml",
+    "encode_switchml",
+]

@@ -1,0 +1,102 @@
+"""SwitchML packet format.
+
+A SwitchML aggregation packet is UDP-encapsulated with a small header
+identifying the pool slot, the chunk (offset) of model gradients it
+carries, and the sending worker, followed by the int32 gradient values
+(converted from float by scaling, as both SwitchML and ATP do).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.microcode.layout import StructLayout
+
+__all__ = [
+    "SWITCHML_UDP_PORT",
+    "SwitchMLHeader",
+    "decode_switchml",
+    "encode_switchml",
+]
+
+SWITCHML_UDP_PORT = 11000
+
+#: Wire layout of the SwitchML header (12 bytes).
+SWITCHML_HEADER_LAYOUT = StructLayout(
+    "switchml_hdr_t",
+    [
+        ("pool_index", 16),   # slot in the aggregation pool
+        ("worker_id", 8),     # sender
+        ("num_workers", 8),   # expected contributors
+        ("chunk_id", 32),     # which model chunk these gradients are
+        ("grad_cnt", 16),     # gradients in this packet
+        ("is_result", 1),     # switch -> worker result packet
+        (None, 15),           # pad to byte alignment
+    ],
+)
+
+
+@dataclass
+class SwitchMLHeader:
+    """Parsed SwitchML header fields."""
+
+    pool_index: int
+    worker_id: int
+    num_workers: int
+    chunk_id: int
+    grad_cnt: int
+    is_result: bool = False
+
+    def pack(self) -> bytes:
+        return SWITCHML_HEADER_LAYOUT.pack(
+            pool_index=self.pool_index,
+            worker_id=self.worker_id,
+            num_workers=self.num_workers,
+            chunk_id=self.chunk_id,
+            grad_cnt=self.grad_cnt,
+            is_result=int(self.is_result),
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SwitchMLHeader":
+        fields = SWITCHML_HEADER_LAYOUT.unpack(data)
+        return cls(
+            pool_index=fields["pool_index"],
+            worker_id=fields["worker_id"],
+            num_workers=fields["num_workers"],
+            chunk_id=fields["chunk_id"],
+            grad_cnt=fields["grad_cnt"],
+            is_result=bool(fields["is_result"]),
+        )
+
+    SIZE = SWITCHML_HEADER_LAYOUT.size_bytes
+
+
+def encode_switchml(header: SwitchMLHeader, gradients: List[int]) -> bytes:
+    """Build the UDP payload: header + little-endian int32 gradients."""
+    if len(gradients) != header.grad_cnt:
+        raise ValueError(
+            f"header says {header.grad_cnt} gradients, got {len(gradients)}"
+        )
+    wrapped = [g & 0xFFFFFFFF for g in gradients]
+    return header.pack() + struct.pack(f"<{len(wrapped)}I", *wrapped)
+
+
+def decode_switchml(payload: bytes) -> Tuple[SwitchMLHeader, List[int]]:
+    """Parse a SwitchML UDP payload into (header, signed int32 gradients)."""
+    header = SwitchMLHeader.unpack(payload[: SwitchMLHeader.SIZE])
+    body = payload[SwitchMLHeader.SIZE:
+                   SwitchMLHeader.SIZE + 4 * header.grad_cnt]
+    if len(body) != 4 * header.grad_cnt:
+        raise ValueError(
+            f"payload truncated: expected {4 * header.grad_cnt} gradient "
+            f"bytes, got {len(body)}"
+        )
+    unsigned = struct.unpack(f"<{header.grad_cnt}I", body)
+    gradients = [
+        value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+        for value in unsigned
+    ]
+    return header, gradients

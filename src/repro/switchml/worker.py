@@ -1,0 +1,156 @@
+"""SwitchML end-host worker.
+
+Mirrors the open-source SwitchML client integrated with PyTorch through
+DPDK (§6.1): the model's gradient vector is split into fixed-size chunks,
+one chunk per packet; the pool size is the streaming window; a worker may
+only reuse a slot after receiving that slot's result, which self-clocks
+the stream.  Retransmission is disabled, as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.headers import HeaderError
+from repro.net.host import Host
+from repro.sim import Environment
+from repro.switchml.protocol import (
+    SWITCHML_UDP_PORT,
+    SwitchMLHeader,
+    decode_switchml,
+    encode_switchml,
+)
+from repro.switchml.switch import SwitchMLJob
+
+__all__ = ["SwitchMLWorker"]
+
+
+class SwitchMLWorker(Host):
+    """One training worker speaking the SwitchML protocol."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        worker_id: int,
+        job: SwitchMLJob,
+        mac: MACAddress,
+        ip: IPv4Address,
+        straggle_hook: Optional[Callable[[int], float]] = None,
+        retransmit_timeout_s: Optional[float] = None,
+    ):
+        """``straggle_hook(chunk_id)`` may return a delay in seconds to
+        sleep before sending that chunk (straggler injection).
+
+        ``retransmit_timeout_s`` enables SwitchML's loss-recovery
+        retransmission (the open-source client uses 1 ms).  §6.1 disables
+        it in the paper's experiments because a straggling worker makes
+        every other worker's outstanding chunks look lost, flooding the
+        switch with spurious retransmissions.
+        """
+        super().__init__(env, name=name, mac=mac, ip=ip)
+        self.worker_id = worker_id
+        self.job = job
+        self.straggle_hook = straggle_hook
+        self.retransmit_timeout_s = retransmit_timeout_s
+        self.retransmissions = 0
+        self.chunks_sent = 0
+        self.results_received = 0
+
+    def allreduce(self, gradients: List[int]):
+        """Aggregate ``gradients`` with the other workers via the switch.
+
+        Process generator: run with ``env.process(worker.allreduce(g))``;
+        the process's value is the aggregated gradient list.
+        """
+        per_packet = self.job.grads_per_packet
+        chunks: List[List[int]] = []
+        for start in range(0, len(gradients), per_packet):
+            chunk = list(gradients[start:start + per_packet])
+            if len(chunk) < per_packet:
+                chunk.extend([0] * (per_packet - len(chunk)))  # pad tail
+            chunks.append(chunk)
+        results: List[Optional[List[int]]] = [None] * len(chunks)
+        pending = len(chunks)
+        next_to_send = 0
+        send_times: dict = {}
+        done = {"flag": False}
+
+        if self.retransmit_timeout_s:
+            self.env.process(
+                self._retransmit_loop(chunks, results, send_times, done),
+                name=f"{self.name}:retx",
+            )
+
+        window = min(self.job.pool_size, len(chunks))
+        for __ in range(window):
+            send_times[next_to_send] = self.env.now
+            yield from self._send_chunk(next_to_send, chunks[next_to_send])
+            next_to_send += 1
+
+        while pending:
+            packet = yield self.recv()
+            try:
+                __, __, udp, payload = packet.parse_udp()
+            except HeaderError:
+                continue
+            if udp.dst_port != SWITCHML_UDP_PORT:
+                continue
+            header, values = decode_switchml(payload)
+            if not header.is_result or header.chunk_id >= len(chunks):
+                continue
+            if results[header.chunk_id] is not None:
+                continue  # duplicate result
+            results[header.chunk_id] = values
+            self.results_received += 1
+            pending -= 1
+            if next_to_send < len(chunks):
+                send_times[next_to_send] = self.env.now
+                yield from self._send_chunk(next_to_send, chunks[next_to_send])
+                next_to_send += 1
+
+        done["flag"] = True
+        aggregated: List[int] = []
+        for chunk_result in results:
+            aggregated.extend(chunk_result)
+        return aggregated[: len(gradients)]
+
+    def _retransmit_loop(self, chunks, results, send_times, done):
+        """Re-send chunks whose result is overdue (SwitchML loss recovery).
+
+        Without switch-side timers, the worker cannot distinguish a lost
+        packet from a slot stalled on a straggler — so during straggling
+        periods this loop retransmits chunks that were never lost (§6.1).
+        """
+        timeout = self.retransmit_timeout_s
+        while not done["flag"]:
+            yield self.env.timeout(timeout)
+            now = self.env.now
+            for chunk_id, sent_at in list(send_times.items()):
+                if results[chunk_id] is None and now - sent_at >= timeout:
+                    self.retransmissions += 1
+                    send_times[chunk_id] = now
+                    yield from self._send_chunk(chunk_id, chunks[chunk_id])
+
+    def _send_chunk(self, chunk_id: int, values: List[int]):
+        if self.straggle_hook is not None:
+            delay = self.straggle_hook(chunk_id)
+            if delay and delay > 0:
+                yield self.env.timeout(delay)
+        header = SwitchMLHeader(
+            pool_index=chunk_id % self.job.pool_size,
+            worker_id=self.worker_id,
+            num_workers=self.job.num_workers,
+            chunk_id=chunk_id,
+            grad_cnt=len(values),
+        )
+        payload = encode_switchml(header, values)
+        self.chunks_sent += 1
+        yield self.send_udp(
+            dst_mac=self.job.switch_mac,
+            dst_ip=self.job.switch_ip,
+            src_port=SWITCHML_UDP_PORT,
+            dst_port=SWITCHML_UDP_PORT,
+            payload=payload,
+        )

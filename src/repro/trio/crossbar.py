@@ -1,0 +1,44 @@
+"""The crossbar connecting PPEs to the Shared Memory System and MQSS.
+
+§2.3: "Trio's Crossbar is designed to support all read-modify-write
+engines, such that the Crossbar itself will never limit the memory
+performance."  We therefore model the crossbar as pure transit latency with
+unbounded internal bandwidth; backpressure arises at the RMW engines (which
+*are* modelled as queueing servers), matching the paper's description that
+"if the load offered to a given read-modify-write engine exceeds the
+8-bytes per cycle throughput, there will be backpressure through the
+Crossbar".
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """Fixed-latency any-to-any transport for external transactions (XTXNs)."""
+
+    def __init__(self, env: Environment, latency_s: float = 25e-9):
+        if latency_s < 0:
+            raise ValueError(f"negative crossbar latency: {latency_s}")
+        self.env = env
+        self.latency_s = float(latency_s)
+        self.xtxn_count = 0
+        self.xtxn_bytes = 0
+
+    def transit(self, nbytes: int = 8):
+        """One-way crossbar traversal for an XTXN of ``nbytes``.
+
+        Usage (inside a process)::
+
+            yield crossbar.transit(8)
+        """
+        self.xtxn_count += 1
+        self.xtxn_bytes += nbytes
+        return self.env.timeout(self.latency_s)
+
+    def round_trip_s(self) -> float:
+        """Request + reply transit time (no queueing)."""
+        return 2.0 * self.latency_s

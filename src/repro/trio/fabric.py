@@ -1,0 +1,67 @@
+"""The interconnection fabric between PFEs (§2.1).
+
+Larger routers connect multiple PFEs through an any-to-any fabric that
+"expands the bandwidth of a device much farther than a single chip could
+support".  We model each directed PFE pair as an independent channel with
+a serialisation rate and fixed transit latency, preserving per-pair
+ordering (cells of one packet stay together at this abstraction level).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.net.packet import Packet
+from repro.sim import Environment, Store
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Any-to-any interconnect between named PFEs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = 400e9,
+        latency_s: float = 500e-9,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"fabric bandwidth must be positive: {bandwidth_bps}")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self._channels: Dict[Tuple[str, str], Store] = {}
+        self._sinks: Dict[str, Callable[[Packet], None]] = {}
+        self.packets = 0
+        self.bytes = 0
+
+    def attach(self, pfe_name: str, sink: Callable[[Packet], None]) -> None:
+        """Register the delivery callback for one PFE."""
+        self._sinks[pfe_name] = sink
+
+    def send(self, src: str, dst: str, packet: Packet) -> None:
+        """Queue ``packet`` on the (src, dst) channel."""
+        if dst not in self._sinks:
+            raise KeyError(f"no PFE named {dst!r} attached to the fabric")
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = Store(self.env)
+            self._channels[key] = channel
+            self.env.process(
+                self._channel_loop(channel, dst), name=f"fabric:{src}->{dst}"
+            )
+        self.packets += 1
+        self.bytes += len(packet)
+        channel.put(packet)
+
+    def _channel_loop(self, channel: Store, dst: str):
+        while True:
+            packet = yield channel.get()
+            yield self.env.timeout(packet.bits / self.bandwidth_bps)
+            self.env.process(self._deliver(dst, packet), name=f"fabric:deliver")
+
+    def _deliver(self, dst: str, packet: Packet):
+        yield self.env.timeout(self.latency_s)
+        self._sinks[dst](packet)

@@ -1,0 +1,310 @@
+"""The Shared Memory System (§2.3).
+
+One unified address space spans two architecturally equivalent memories
+that differ only in capacity, latency, and bandwidth:
+
+* **On-chip SRAM** — heavily multi-banked, ~70 ns access from the PPE,
+  typically 2–8 MB; used for frequently accessed structures.
+* **Off-chip DRAM** — several GB at 300–400 ns, fronted by a multi-megabyte
+  on-chip cache (modelled as an LRU over 64-byte lines).
+
+All PPE accesses go through XTXNs: request over the crossbar, service at a
+read-modify-write engine, reply back.  Region latency models the full
+PPE-observed round trip; engine queueing adds on top under contention.
+Storage is sparse (4 KB pages allocated on first touch) so multi-gigabyte
+regions cost nothing until used.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim import Environment
+from repro.trio.chipset import TrioChipsetConfig
+from repro.trio.crossbar import Crossbar
+from repro.trio.rmw import RMWComplex, RMWOpKind
+
+__all__ = ["MemoryError_", "MemoryRegion", "SharedMemorySystem"]
+
+_PAGE_SIZE = 4096
+_LINE_SIZE = 64
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range accesses or allocation failure.
+
+    (Named with a trailing underscore to avoid shadowing the builtin.)
+    """
+
+
+@dataclass
+class _FreeBlock:
+    addr: int
+    size: int
+
+
+class MemoryRegion:
+    """One contiguous latency-homogeneous range of the unified address space."""
+
+    def __init__(self, name: str, base: int, size: int, latency_s: float):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.latency_s = latency_s
+        self._pages: Dict[int, bytearray] = {}
+        self._bump = base
+        self._free: List[_FreeBlock] = []
+        self.allocated_bytes = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    # -- raw storage ----------------------------------------------------
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        self._check_range(addr, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page_idx, offset = divmod(addr + pos, _PAGE_SIZE)
+            take = min(_PAGE_SIZE - offset, size - pos)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                out[pos:pos + take] = page[offset:offset + take]
+            pos += take
+        return bytes(out)
+
+    def write_raw(self, addr: int, data: bytes) -> None:
+        self._check_range(addr, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page_idx, offset = divmod(addr + pos, _PAGE_SIZE)
+            take = min(_PAGE_SIZE - offset, size - pos)
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = bytearray(_PAGE_SIZE)
+                self._pages[page_idx] = page
+            page[offset:offset + take] = data[pos:pos + take]
+            pos += take
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if size < 0:
+            raise MemoryError_(f"negative access size: {size}")
+        if not (self.contains(addr) and addr + size <= self.end):
+            raise MemoryError_(
+                f"access [{addr:#x}, {addr + size:#x}) outside region "
+                f"{self.name} [{self.base:#x}, {self.end:#x})"
+            )
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(self, size: int, align: int = 64) -> int:
+        """First-fit allocation, falling back to the bump pointer."""
+        if size <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size}")
+        for i, block in enumerate(self._free):
+            aligned = (block.addr + align - 1) // align * align
+            waste = aligned - block.addr
+            if block.size >= size + waste:
+                remaining = block.size - size - waste
+                if remaining > 0:
+                    self._free[i] = _FreeBlock(aligned + size, remaining)
+                else:
+                    del self._free[i]
+                self.allocated_bytes += size
+                return aligned
+        aligned = (self._bump + align - 1) // align * align
+        if aligned + size > self.end:
+            raise MemoryError_(
+                f"region {self.name} exhausted "
+                f"({self.allocated_bytes} bytes allocated, {size} requested)"
+            )
+        self._bump = aligned + size
+        self.allocated_bytes += size
+        return aligned
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to the free list (no coalescing)."""
+        self._check_range(addr, size)
+        self._free.append(_FreeBlock(addr, size))
+        self.allocated_bytes -= size
+
+
+class _DramCache:
+    """LRU tag store over 64-byte lines modelling the on-chip DRAM cache."""
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_lines = max(1, capacity_bytes // _LINE_SIZE)
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, size: int) -> bool:
+        """Touch the lines covering [addr, addr+size); True if all hit."""
+        first = addr // _LINE_SIZE
+        last = (addr + max(size, 1) - 1) // _LINE_SIZE
+        all_hit = True
+        for line in range(first, last + 1):
+            if line in self._lines:
+                self._lines.move_to_end(line)
+                self.hits += 1
+            else:
+                all_hit = False
+                self.misses += 1
+                self._lines[line] = None
+                if len(self._lines) > self.capacity_lines:
+                    self._lines.popitem(last=False)
+        return all_hit
+
+
+class SharedMemorySystem:
+    """The full PFE memory complex: regions, allocator, RMW engines, XTXNs."""
+
+    SRAM_BASE = 0x0000_0000
+    DRAM_BASE = 0x1_0000_0000
+
+    def __init__(self, env: Environment, config: TrioChipsetConfig,
+                 crossbar: Optional[Crossbar] = None):
+        self.env = env
+        self.config = config
+        self.crossbar = crossbar or Crossbar(env, config.crossbar_latency_s)
+        self.sram = MemoryRegion(
+            "sram", self.SRAM_BASE, config.sram_bytes, config.sram_latency_s
+        )
+        self.dram = MemoryRegion(
+            "dram", self.DRAM_BASE, config.dram_bytes, config.dram_latency_s
+        )
+        self._regions = (self.sram, self.dram)
+        self._dram_cache = _DramCache(config.dram_cache_bytes)
+        self.rmw = RMWComplex(
+            env,
+            storage=self,
+            num_engines=config.num_rmw_engines,
+            clock_hz=config.clock_hz,
+            bytes_per_cycle=config.rmw_bytes_per_cycle,
+            add32_cycles=config.rmw_add32_cycles,
+        )
+
+    # -- region plumbing -------------------------------------------------
+
+    def region_of(self, addr: int) -> MemoryRegion:
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        raise MemoryError_(f"address {addr:#x} is outside the unified space")
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        """Zero-time raw read (used by RMW engines and tests)."""
+        return self.region_of(addr).read_raw(addr, size)
+
+    def write_raw(self, addr: int, data: bytes) -> None:
+        """Zero-time raw write (used by RMW engines and tests)."""
+        self.region_of(addr).write_raw(addr, data)
+
+    def alloc(self, size: int, region: str = "sram", align: int = 64) -> int:
+        """Allocate ``size`` bytes in the named region; returns the address."""
+        if region == "sram":
+            return self.sram.alloc(size, align)
+        if region == "dram":
+            return self.dram.alloc(size, align)
+        raise MemoryError_(f"unknown region: {region!r}")
+
+    def free(self, addr: int, size: int) -> None:
+        """Free a previously allocated block."""
+        self.region_of(addr).free(addr, size)
+
+    def access_latency_s(self, addr: int, size: int = 8) -> float:
+        """PPE-observed latency for one access (DRAM cache aware)."""
+        region = self.region_of(addr)
+        if region is self.dram:
+            if self._dram_cache.access(addr, size):
+                return self.config.dram_cache_hit_latency_s
+            return region.latency_s
+        return region.latency_s
+
+    @property
+    def dram_cache_hits(self) -> int:
+        return self._dram_cache.hits
+
+    @property
+    def dram_cache_misses(self) -> int:
+        return self._dram_cache.misses
+
+    # -- XTXN API (generators; yield from inside a process) ---------------
+
+    def _validate_xtxn_size(self, size: int) -> None:
+        limit = self.config.max_xtxn_bytes
+        if size < 1 or size > limit:
+            raise MemoryError_(
+                f"XTXN size {size} outside 1..{limit} "
+                "(memory transactions are 8-64 bytes, §2.3)"
+            )
+
+    def read(self, addr: int, size: int = 8):
+        """Synchronous read XTXN; returns the bytes."""
+        self._validate_xtxn_size(size)
+        yield self.env.timeout(self.access_latency_s(addr, size))
+        result = yield from self.rmw.execute(RMWOpKind.READ, addr, size)
+        return result
+
+    def write(self, addr: int, data: bytes):
+        """Synchronous write XTXN."""
+        self._validate_xtxn_size(len(data))
+        yield self.env.timeout(self.access_latency_s(addr, len(data)))
+        yield from self.rmw.execute(RMWOpKind.WRITE, addr, len(data), data=data)
+
+    def add32(self, addr: int, operand: int):
+        """32-bit add RMW; returns the old value."""
+        yield self.env.timeout(self.access_latency_s(addr, 4))
+        result = yield from self.rmw.execute(RMWOpKind.ADD32, addr, 4,
+                                             operand=operand)
+        return result
+
+    def fetch_and_op(self, kind: RMWOpKind, addr: int, operand: int,
+                     size: int = 8):
+        """Logical fetch-and-op (AND/OR/XOR/CLEAR/SWAP); returns old value."""
+        self._validate_xtxn_size(size)
+        yield self.env.timeout(self.access_latency_s(addr, size))
+        result = yield from self.rmw.execute(kind, addr, size, operand=operand)
+        return result
+
+    def masked_write(self, addr: int, operand: int, mask: int, size: int = 8):
+        """Masked write RMW; returns the old value."""
+        self._validate_xtxn_size(size)
+        yield self.env.timeout(self.access_latency_s(addr, size))
+        result = yield from self.rmw.execute(
+            RMWOpKind.MASKED_WRITE, addr, size, operand=operand, mask=mask
+        )
+        return result
+
+    def counter_inc(self, addr: int, nbytes: int):
+        """Packet/Byte Counter increment (the CounterIncPhys XTXN, §3.2)."""
+        yield self.env.timeout(self.access_latency_s(addr, 16))
+        yield from self.rmw.execute(RMWOpKind.COUNTER_INC, addr, 16,
+                                    operand=nbytes)
+
+    # -- bulk paths used by aggregation ----------------------------------
+
+    def bulk_add32(self, addr: int, values: Sequence[int]):
+        """Aggregate a vector of int32 values into memory (fluid model)."""
+        yield self.env.timeout(self.access_latency_s(addr, 4 * len(values)))
+        yield from self.rmw.bulk_add32(addr, values)
+
+    def bulk_read(self, addr: int, size: int):
+        """Stream ``size`` bytes out of memory; returns the bytes."""
+        yield self.env.timeout(self.access_latency_s(addr, size))
+        yield from self.rmw.bulk_transfer(size)
+        return self.read_raw(addr, size)
+
+    def bulk_write(self, addr: int, data: bytes):
+        """Stream ``data`` into memory."""
+        yield self.env.timeout(self.access_latency_s(addr, len(data)))
+        yield from self.rmw.bulk_transfer(len(data))
+        self.write_raw(addr, data)

@@ -1,0 +1,301 @@
+"""The Packet Forwarding Engine (§2.1, Figure 2).
+
+A PFE is the central processing element of Trio's forwarding plane.  The
+model wires together every block of Figure 2:
+
+* network ports whose received frames enter the **Dispatch module**;
+* the Dispatch module, which splits each frame into head and tail, stores
+  the tail in the Packet Buffer (Memory and Queueing Subsystem), and hands
+  the head to an available PPE thread;
+* hundreds of multi-threaded **PPEs** running the installed application;
+* the **Reorder Engine**, which releases each flow's results in arrival
+  order;
+* the **Shared Memory System** (with its RMW engines and crossbar), the
+  **hash block**, and the **timer** hardware.
+
+Applications subclass :class:`TrioApplication` and implement
+``handle_packet(thread_ctx, packet_ctx)`` as a generator — the moral
+equivalent of the Microcode program the paper installs.  A PFE with no
+application performs plain IP forwarding from its route table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addressing import IPv4Address
+from repro.net.headers import HeaderError
+from repro.net.link import Port
+from repro.net.multicast import MulticastGroupTable
+from repro.net.packet import Packet
+from repro.sim import Environment, Process, Resource, Store
+from repro.trio.chipset import GENERATIONS, TrioChipsetConfig
+from repro.trio.crossbar import Crossbar
+from repro.trio.hashtable import HardwareHashTable
+from repro.trio.memory import SharedMemorySystem
+from repro.trio.ppe import (
+    ACTION_CONSUME,
+    ACTION_DROP,
+    ACTION_FORWARD,
+    PPE,
+    PacketContext,
+    ThreadContext,
+)
+from repro.trio.reorder import ReorderEngine
+from repro.trio.timers import TimerManager
+
+__all__ = ["PFE", "TrioApplication"]
+
+#: Fixed hardware cost of dispatching a packet head to a PPE thread
+#: (head extraction, thread spawn, LMEM load).  Estimate.
+DISPATCH_LATENCY_S = 100e-9
+
+
+class TrioApplication:
+    """Base class for Microcode applications installed on a PFE.
+
+    ``handle_packet`` is a generator that processes one packet on one PPE
+    thread; it sets the packet's fate on ``packet_ctx`` (forward / drop /
+    consume) and may emit new packets.  ``on_install`` runs once when the
+    application is installed (job configuration, memory allocation,
+    launching timer threads).
+    """
+
+    name = "application"
+
+    def on_install(self, pfe: "PFE") -> None:
+        """Hook invoked when the app is installed on ``pfe``."""
+
+    def handle_packet(self, tctx: ThreadContext, pctx: PacketContext):
+        """Process one packet; default behaviour forwards it unchanged."""
+        yield from tctx.execute(1)
+        pctx.forward()
+
+
+class PFE:
+    """One Packet Forwarding Engine with its PPEs and memory system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        config: Optional[TrioChipsetConfig] = None,
+        num_ports: int = 4,
+        router=None,
+    ):
+        self.env = env
+        self.name = name
+        self.config = config or GENERATIONS[5]
+        self.router = router
+
+        self.crossbar = Crossbar(env, self.config.crossbar_latency_s)
+        self.memory = SharedMemorySystem(env, self.config, self.crossbar)
+        self.hash_table = HardwareHashTable(
+            env, op_latency_s=self.config.sram_latency_s
+        )
+        self.ppes: List[PPE] = [
+            PPE(env, i, self.config) for i in range(self.config.num_ppes)
+        ]
+        self._thread_slots = Resource(env, capacity=self.config.total_threads)
+        self._next_ppe = 0
+        self.timers = TimerManager(env, self, self.config.num_hw_timers)
+
+        self.ports: List[Port] = [
+            Port(env, name=f"{name}.p{i}", rx_handler=self._on_rx)
+            for i in range(num_ports)
+        ]
+        self._ports_by_name: Dict[str, Port] = {p.name: p for p in self.ports}
+
+        self._dispatch_queue: Store = Store(env)
+        self.reorder = ReorderEngine(release=self._release_output)
+        self.app: Optional[TrioApplication] = None
+
+        #: Local unicast routes: destination IP -> port name.
+        self.route_table: Dict[IPv4Address, str] = {}
+        #: Local multicast membership.
+        self.multicast = MulticastGroupTable()
+
+        self.packets_in = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.packets_consumed = 0
+        env.process(self._dispatch_loop(), name=f"{name}:dispatch")
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def install_app(self, app: TrioApplication) -> TrioApplication:
+        """Install a Microcode application (replaces any existing one)."""
+        self.app = app
+        app.on_install(self)
+        return app
+
+    def add_route(self, dst: IPv4Address, port_name: str) -> None:
+        """Add a host route: packets to ``dst`` leave via ``port_name``."""
+        if port_name not in self._ports_by_name:
+            raise ValueError(f"{port_name!r} is not a port of {self.name}")
+        self.route_table[IPv4Address(dst)] = port_name
+
+    def port(self, index: int) -> Port:
+        return self.ports[index]
+
+    @property
+    def threads_in_use(self) -> int:
+        return self._thread_slots.in_use
+
+    @property
+    def dispatch_backlog(self) -> int:
+        return len(self._dispatch_queue)
+
+    # ------------------------------------------------------------------
+    # Ingress path
+    # ------------------------------------------------------------------
+
+    def _on_rx(self, packet: Packet, port: Port) -> None:
+        self.accept(packet, ingress_port=port.name)
+
+    def accept(self, packet: Packet, ingress_port: Optional[str] = None) -> None:
+        """Enqueue a packet for dispatch (from a port or from the fabric)."""
+        self.packets_in += 1
+        flow_key = packet.flow_key if packet.flow_key is not None else "_anon"
+        seq = self.reorder.arrival(flow_key)
+        packet.meta["pfe_arrival"] = self.env.now
+        self._dispatch_queue.put((packet, ingress_port, flow_key, seq))
+
+    def _dispatch_loop(self):
+        """The Dispatch module: hand heads to PPEs based on availability."""
+        while True:
+            packet, ingress_port, flow_key, seq = yield self._dispatch_queue.get()
+            yield self._thread_slots.request()
+            ppe = self.ppes[self._next_ppe]
+            self._next_ppe = (self._next_ppe + 1) % len(self.ppes)
+            ppe.threads_spawned += 1
+            self.env.process(
+                self._run_thread(ppe, packet, ingress_port, flow_key, seq),
+                name=f"{self.name}:thread:{packet.packet_id}",
+            )
+
+    def _run_thread(self, ppe: PPE, packet: Packet,
+                    ingress_port: Optional[str], flow_key, seq: int):
+        head, tail = packet.split(self.config.head_size_bytes)
+        pctx = PacketContext(
+            packet=packet,
+            head=bytearray(head),
+            tail=tail,
+            ingress_port=ingress_port,
+            arrival_seq=seq,
+            arrival_time=packet.meta.get("pfe_arrival", self.env.now),
+        )
+        tctx = ThreadContext(
+            env=self.env,
+            ppe=ppe,
+            config=self.config,
+            memory=self.memory,
+            hash_table=self.hash_table,
+            packet_ctx=pctx,
+        )
+        yield self.env.timeout(DISPATCH_LATENCY_S)
+        try:
+            handler = self.app.handle_packet if self.app else self._plain_forward
+            yield from handler(tctx, pctx)
+        finally:
+            self._thread_slots.release()
+        outputs: List[Tuple[str, Packet, Optional[str]]] = []
+        if pctx.action == ACTION_FORWARD:
+            outputs.append((ACTION_FORWARD, packet, pctx.egress_port))
+            self.packets_forwarded += 1
+        elif pctx.action == ACTION_DROP:
+            self.packets_dropped += 1
+        else:
+            self.packets_consumed += 1
+        for emitted, egress in pctx.emitted:
+            outputs.append((ACTION_FORWARD, emitted, egress))
+        self.reorder.complete(flow_key, seq, outputs)
+
+    def _plain_forward(self, tctx: ThreadContext, pctx: PacketContext):
+        """Default application: parse and forward by destination IP."""
+        yield from tctx.execute(10)  # parse + route lookup, ballpark
+        pctx.forward()
+
+    # ------------------------------------------------------------------
+    # Internal (timer / event-spawned) threads
+    # ------------------------------------------------------------------
+
+    def spawn_internal_thread(self, callback: Callable[[ThreadContext], object],
+                              name: str = "internal") -> Process:
+        """Run ``callback(thread_ctx)`` as a PPE thread (§2.2: threads can
+        start in response to internal events such as timers)."""
+        return self.env.process(self._run_internal(callback), name=name)
+
+    def _run_internal(self, callback):
+        yield self._thread_slots.request()
+        ppe = self.ppes[self._next_ppe]
+        self._next_ppe = (self._next_ppe + 1) % len(self.ppes)
+        ppe.threads_spawned += 1
+        tctx = ThreadContext(
+            env=self.env,
+            ppe=ppe,
+            config=self.config,
+            memory=self.memory,
+            hash_table=self.hash_table,
+            packet_ctx=None,
+        )
+        try:
+            yield from callback(tctx)
+        finally:
+            self._thread_slots.release()
+
+    # ------------------------------------------------------------------
+    # Egress path
+    # ------------------------------------------------------------------
+
+    def _release_output(self, item: Tuple[str, Packet, Optional[str]]) -> None:
+        __, packet, egress_port = item
+        self.transmit(packet, egress_port)
+
+    def transmit(self, packet: Packet, egress_port: Optional[str] = None) -> None:
+        """Send a packet out: explicit port, local route, or the router."""
+        if egress_port is not None:
+            port = self._ports_by_name.get(egress_port)
+            if port is None:
+                if self.router is not None:
+                    self.router.deliver(packet, egress_hint=egress_port,
+                                        from_pfe=self)
+                    return
+                raise ValueError(f"unknown egress port {egress_port!r}")
+            port.send(packet)
+            return
+        dst = self._destination_ip(packet)
+        if dst is not None and dst.is_multicast:
+            members = self.multicast.members(dst)
+            if members:
+                for port_name in members:
+                    self._ports_by_name[port_name].send(packet.copy())
+                return
+            if self.router is not None:
+                self.router.deliver(packet, from_pfe=self)
+                return
+            self.packets_dropped += 1
+            return
+        if dst is not None and dst in self.route_table:
+            self._ports_by_name[self.route_table[dst]].send(packet)
+            return
+        if self.router is not None:
+            self.router.deliver(packet, from_pfe=self)
+            return
+        self.packets_dropped += 1  # no route: drop
+
+    @staticmethod
+    def _destination_ip(packet: Packet) -> Optional[IPv4Address]:
+        try:
+            __, rest = packet.parse_ethernet()
+            from repro.net.headers import IPv4Header
+
+            ip, __ = IPv4Header.parse(rest, verify_checksum=False)
+            return ip.dst
+        except HeaderError:
+            return None
+
+    def __repr__(self) -> str:
+        return f"<PFE {self.name} gen{self.config.generation}>"

@@ -1,0 +1,71 @@
+"""The Reorder Engine (§2.1).
+
+Packets of the same flow may finish processing out of order (threads run
+independently), but must leave the PFE in arrival order.  The Reorder
+Engine assigns each arriving packet a per-flow sequence number and holds
+completed results until every earlier packet of the same flow has
+completed.
+
+Results are lists of output actions (a processed packet may forward
+itself, emit new packets, or produce nothing); the engine releases each
+flow's results strictly in arrival order to a downstream callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List
+
+__all__ = ["ReorderEngine"]
+
+
+@dataclass
+class _FlowState:
+    next_arrival: int = 0
+    next_release: int = 0
+    pending: Dict[int, List[Any]] = field(default_factory=dict)
+
+
+class ReorderEngine:
+    """Per-flow in-order release of processing results."""
+
+    def __init__(self, release: Callable[[Any], None]):
+        """``release(item)`` is called for each output action, in order."""
+        self._release = release
+        self._flows: Dict[Hashable, _FlowState] = {}
+        self.held_max = 0
+        self.released = 0
+
+    def arrival(self, flow_key: Hashable) -> int:
+        """Register a packet arrival; returns its per-flow sequence number."""
+        state = self._flows.setdefault(flow_key, _FlowState())
+        seq = state.next_arrival
+        state.next_arrival += 1
+        return seq
+
+    def complete(self, flow_key: Hashable, seq: int,
+                 outputs: List[Any]) -> None:
+        """Deliver a finished packet's outputs; releases what is in order."""
+        state = self._flows.get(flow_key)
+        if state is None:
+            raise KeyError(f"unknown flow {flow_key!r}")
+        if seq < state.next_release or seq in state.pending:
+            raise ValueError(
+                f"duplicate completion for flow {flow_key!r} seq {seq}"
+            )
+        state.pending[seq] = outputs
+        self.held_max = max(self.held_max, len(state.pending))
+        while state.next_release in state.pending:
+            ready = state.pending.pop(state.next_release)
+            state.next_release += 1
+            for item in ready:
+                self.released += 1
+                self._release(item)
+        # Drop completed flow state so long-running simulations do not
+        # accumulate one entry per flow forever.
+        if not state.pending and state.next_release == state.next_arrival:
+            del self._flows[flow_key]
+
+    @property
+    def in_flight_flows(self) -> int:
+        return len(self._flows)

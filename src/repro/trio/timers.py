@@ -1,0 +1,95 @@
+"""Timer threads (§5).
+
+Trio contains tens of high-resolution hardware timers that can launch
+Microcode threads periodically.  For straggler detection, N timer threads
+are launched with an interarrival of ``period / N`` so that each visits
+1/N of the aggregation hash table once per period; no PPE is reserved —
+every firing grabs any available PPE thread.
+
+:class:`TimerManager` owns the timer configuration and drives the firings;
+the actual work is a user callback run on a PFE thread (so it competes
+with packet processing for thread slots, as on the hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.sim import Environment, Process
+
+__all__ = ["TimerManager", "TimerGroup"]
+
+#: Signature of timer work: callback(thread_ctx, thread_index) -> generator.
+TimerCallback = Callable[[object, int], object]
+
+
+@dataclass
+class TimerGroup:
+    """One family of N phase-staggered periodic timer threads."""
+
+    name: str
+    num_threads: int
+    period_s: float
+    callback: TimerCallback = field(repr=False, default=None)
+    firings: int = 0
+    cancelled: bool = False
+
+
+class TimerManager:
+    """Launches and tracks periodic timer-thread groups on one PFE."""
+
+    def __init__(self, env: Environment, pfe, num_hw_timers: int = 32):
+        """``pfe`` must expose ``spawn_internal_thread(callback, name=...)``
+        returning a :class:`~repro.sim.Process`."""
+        self.env = env
+        self.pfe = pfe
+        self.num_hw_timers = num_hw_timers
+        self.groups: List[TimerGroup] = []
+
+    def launch_periodic(
+        self,
+        name: str,
+        num_threads: int,
+        period_s: float,
+        callback: TimerCallback,
+    ) -> TimerGroup:
+        """Start ``num_threads`` periodic threads with period ``period_s``.
+
+        Thread *i* first fires at ``i × period / num_threads`` and then
+        every ``period`` (§5: the interarrival interval between
+        back-to-back threads is 1/N of the desired timeout interval).
+        Each firing runs ``callback(thread_ctx, thread_index)`` as a
+        generator on any available PPE thread.
+        """
+        if num_threads < 1:
+            raise ValueError(f"need at least one timer thread, got {num_threads}")
+        if period_s <= 0:
+            raise ValueError(f"timer period must be positive, got {period_s}")
+        group = TimerGroup(
+            name=name, num_threads=num_threads, period_s=period_s,
+            callback=callback,
+        )
+        self.groups.append(group)
+        for i in range(num_threads):
+            self.env.process(
+                self._timer_loop(group, i), name=f"timer:{name}:{i}"
+            )
+        return group
+
+    def cancel(self, group: TimerGroup) -> None:
+        """Stop all threads of a group after their current firing."""
+        group.cancelled = True
+
+    def _timer_loop(self, group: TimerGroup, index: int):
+        phase = index * group.period_s / group.num_threads
+        if phase:
+            yield self.env.timeout(phase)
+        while not group.cancelled:
+            group.firings += 1
+            worker: Process = self.pfe.spawn_internal_thread(
+                lambda tctx, i=index: group.callback(tctx, i),
+                name=f"timer:{group.name}:{index}",
+            )
+            yield worker
+            yield self.env.timeout(group.period_s)

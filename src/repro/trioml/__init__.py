@@ -1,0 +1,55 @@
+"""Trio-ML: in-network aggregation and straggler mitigation on Trio (§4, §5).
+
+* :mod:`repro.trioml.protocol` — the Trio-ML packet format (Figure 7) and
+  12-byte header bit layout (Figure 8).
+* :mod:`repro.trioml.records` — job records (Figure 17) and block records
+  (Figure 18) with their exact bit widths, packed into the Shared Memory
+  System.
+* :mod:`repro.trioml.aggregator` — the aggregation Microcode program
+  workflow (Figure 10): head phase, 64-byte tail-chunk loop, RMW-engine
+  gradient summation, completion check, 256-byte result-build loop,
+  multicast/hierarchical result delivery.
+* :mod:`repro.trioml.straggler` — timer-thread straggler detection (REF
+  flag scanning, N parallel threads each walking 1/N of the table) and
+  partial-result mitigation (age_op / degraded / src_cnt).
+* :mod:`repro.trioml.worker` — the DPDK-style end host: window-based
+  gradient streaming, degraded-result handling.
+* :mod:`repro.trioml.config` — control-plane job setup, including
+  hierarchical aggregation across PFEs.
+"""
+
+from repro.trioml.protocol import (
+    TRIO_ML_HEADER_LAYOUT,
+    TRIO_ML_UDP_PORT,
+    TrioMLHeader,
+    decode_trio_ml,
+    encode_trio_ml,
+)
+from repro.trioml.records import BlockRecord, JobRecord
+from repro.trioml.aggregator import TrioMLAggregator
+from repro.trioml.straggler import StragglerDetector
+from repro.trioml.worker import BlockResult, TrioMLWorker
+from repro.trioml.config import (
+    TrioMLJobConfig,
+    setup_hierarchical_job,
+    setup_remote_first_level_job,
+    setup_single_level_job,
+)
+
+__all__ = [
+    "BlockRecord",
+    "BlockResult",
+    "JobRecord",
+    "StragglerDetector",
+    "TRIO_ML_HEADER_LAYOUT",
+    "TRIO_ML_UDP_PORT",
+    "TrioMLAggregator",
+    "TrioMLHeader",
+    "TrioMLJobConfig",
+    "TrioMLWorker",
+    "decode_trio_ml",
+    "encode_trio_ml",
+    "setup_hierarchical_job",
+    "setup_remote_first_level_job",
+    "setup_single_level_job",
+]

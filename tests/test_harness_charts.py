@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.harness.charts import fig13_chart, fig16_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_axes_and_legend(self):
+        chart = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            title="test chart", x_label="x", y_label="y",
+        )
+        assert "test chart" in chart
+        assert "* a" in chart and "o b" in chart
+        assert "+" + "-" * 60 in chart
+
+    def test_y_extremes_labelled(self):
+        chart = line_chart({"s": [(0, 10), (5, 90)]})
+        assert "90" in chart
+        assert "10" in chart
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = line_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"dot": [(3, 7)]})
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 0)]}, width=5, height=2)
+
+    def test_glyphs_cycle_beyond_six_series(self):
+        series = {f"s{i}": [(0, i), (1, i + 1)] for i in range(8)}
+        chart = line_chart(series)
+        assert "* s0" in chart and "* s6" in chart  # glyphs wrap
+
+
+class TestFigureCharts:
+    def test_fig13_chart_shows_three_systems(self):
+        results = exp.fig13_iteration_time(
+            probabilities=(0.0, 0.08, 0.16), models=["resnet50"]
+        )
+        chart = fig13_chart(results, "resnet50")
+        for name in ("Ideal", "Trio-ML", "SwitchML"):
+            assert name in chart
+        assert "p (%)" in chart
+
+    def test_fig16_chart(self):
+        results = exp.fig16_window_sweep(
+            windows=(1, 4, 16), grad_counts=(64,),
+            blocks_for=lambda w: 16,
+        )
+        chart = fig16_chart(results, 64)
+        assert "Trio-ML-64" in chart
+        assert "Gbps" in chart

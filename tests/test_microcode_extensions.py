@@ -1,0 +1,380 @@
+"""Tests for Microcode call/return subroutines and switch statements."""
+
+import pytest
+
+from repro.microcode import (
+    CompileError,
+    MicrocodeExecutor,
+    MicrocodeRuntimeError,
+    TrioCompiler,
+)
+from repro.net import IPv4Address, MACAddress, Packet
+from repro.sim import Environment
+from repro.trio import PFE
+from repro.trio.ppe import PacketContext, ThreadContext
+
+
+def execute(source, entry=None, terminals=None, extern=()):
+    """Compile and run a program over a dummy packet; returns (tctx, pctx,
+    the compiled program, and the raised exception if any)."""
+    program = TrioCompiler(extern_labels=extern).compile(source, entry=entry)
+    executor = MicrocodeExecutor(program, terminals=terminals or {})
+    env = Environment()
+    pfe = PFE(env, "pfe1", num_ports=1)
+    packet = Packet.udp(
+        src_mac=MACAddress(1), dst_mac=MACAddress(2),
+        src_ip=IPv4Address("1.1.1.1"), dst_ip=IPv4Address("2.2.2.2"),
+        src_port=1, dst_port=2, payload=b"x" * 20,
+    )
+    head, tail = packet.split(pfe.config.head_size_bytes)
+    pctx = PacketContext(packet=packet, head=bytearray(head), tail=tail)
+    tctx = ThreadContext(env=env, ppe=pfe.ppes[0], config=pfe.config,
+                         memory=pfe.memory, hash_table=pfe.hash_table,
+                         packet_ctx=pctx)
+    proc = env.process(executor.run(tctx, pctx))
+    env.run(until=proc)
+    return tctx, pctx, program
+
+
+def reg(tctx, program, name):
+    return tctx.registers[program.reg_map[name]]
+
+
+class TestCallReturn:
+    def test_call_runs_subroutine_and_resumes(self):
+        tctx, __, program = execute("""
+        reg r;
+        main:
+        begin
+            r = 1;
+            call double_it;
+            r = r + 100;
+            exit;
+        end
+        double_it:
+        begin
+            r = r * 2;
+            return;
+        end
+        """)
+        assert reg(tctx, program, "r") == 102  # (1*2)+100
+
+    def test_nested_calls(self):
+        tctx, __, program = execute("""
+        reg r;
+        main:
+        begin
+            r = 0;
+            call outer;
+            exit;
+        end
+        outer:
+        begin
+            r = r + 1;
+            call inner;
+            r = r + 10;
+            return;
+        end
+        inner:
+        begin
+            r = r + 100;
+            return;
+        end
+        """)
+        assert reg(tctx, program, "r") == 111
+
+    def test_fall_off_end_acts_as_return(self):
+        tctx, __, program = execute("""
+        reg r;
+        main:
+        begin
+            r = 5;
+            call sub;
+            r = r + 1;
+            exit;
+        end
+        sub:
+        begin
+            r = r * 3;
+        end
+        """)
+        assert reg(tctx, program, "r") == 16
+
+    def test_subroutine_can_goto_internally(self):
+        tctx, __, program = execute("""
+        reg r;
+        main:
+        begin
+            call sub_a;
+            r = r + 1000;
+            exit;
+        end
+        sub_a:
+        begin
+            r = 7;
+            goto sub_b;
+        end
+        sub_b:
+        begin
+            r = r * 2;
+            return;
+        end
+        """)
+        assert reg(tctx, program, "r") == 1014
+
+    def test_exit_inside_subroutine_terminates_thread(self):
+        tctx, __, program = execute("""
+        reg r;
+        main:
+        begin
+            r = 1;
+            call sub;
+            r = 999;
+            exit;
+        end
+        sub:
+        begin
+            r = 2;
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "r") == 2  # the post-call code never ran
+
+    def test_call_depth_limit_is_eight(self):
+        source = """
+        reg r;
+        main:
+        begin
+            call level1;
+            exit;
+        end
+        """ + "".join(
+            f"""
+        level{i}:
+        begin
+            call level{i + 1};
+            return;
+        end
+        """ for i in range(1, 9)
+        ) + """
+        level9:
+        begin
+            r = 1;
+            return;
+        end
+        """
+        with pytest.raises(MicrocodeRuntimeError, match="call depth"):
+            execute(source, entry="main")
+
+    def test_depth_eight_allowed(self):
+        source = """
+        reg r;
+        main:
+        begin
+            call level1;
+            exit;
+        end
+        """ + "".join(
+            f"""
+        level{i}:
+        begin
+            call level{i + 1};
+            return;
+        end
+        """ for i in range(1, 8)
+        ) + """
+        level8:
+        begin
+            r = 42;
+            return;
+        end
+        """
+        tctx, __, program = execute(source, entry="main")
+        assert reg(tctx, program, "r") == 42
+
+    def test_call_to_undefined_label_rejected_at_compile(self):
+        with pytest.raises(CompileError, match="undefined"):
+            TrioCompiler().compile("""
+            main:
+            begin
+                call ghost;
+                exit;
+            end
+            """)
+
+    def test_return_outside_subroutine_faults(self):
+        with pytest.raises(MicrocodeRuntimeError, match="return outside"):
+            execute("""
+            main:
+            begin
+                return;
+            end
+            """)
+
+    def test_call_into_terminal_label(self):
+        dropped = []
+
+        def drop_packet(tctx, pctx):
+            dropped.append(True)
+            pctx.drop()
+            yield from tctx.execute(1)
+
+        __, pctx, __ = execute("""
+        main:
+        begin
+            call drop_packet;
+            exit;
+        end
+        """, extern=["drop_packet"],
+            terminals={"drop_packet": drop_packet})
+        assert dropped and pctx.action == "drop"
+
+
+class TestSwitch:
+    def test_matching_case_executes(self):
+        tctx, __, program = execute("""
+        reg sel; reg out;
+        main:
+        begin
+            sel = 2;
+            goto pick;
+        end
+        pick:
+        begin
+            switch (sel) {
+                case 1:
+                    out = 10;
+                case 2:
+                    out = 20;
+                case 3:
+                    out = 30;
+            }
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 20
+
+    def test_multi_value_case(self):
+        tctx, __, program = execute("""
+        reg sel; reg out;
+        main:
+        begin
+            sel = 7;
+            goto pick;
+        end
+        pick:
+        begin
+            switch (sel) {
+                case 1, 7, 9:
+                    out = 111;
+                default:
+                    out = 222;
+            }
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 111
+
+    def test_default_taken_when_nothing_matches(self):
+        tctx, __, program = execute("""
+        reg out;
+        main:
+        begin
+            switch (5) {
+                case 1:
+                    out = 1;
+                default:
+                    out = 99;
+            }
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 99
+
+    def test_no_match_no_default_falls_through(self):
+        tctx, __, program = execute("""
+        reg out;
+        main:
+        begin
+            out = 7;
+            goto pick;
+        end
+        pick:
+        begin
+            switch (5) {
+                case 1:
+                    out = 1;
+            }
+            out = out + 1;
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 8
+
+    def test_goto_inside_case(self):
+        tctx, __, program = execute("""
+        reg out;
+        main:
+        begin
+            switch (1) {
+                case 1:
+                    goto elsewhere;
+            }
+            out = 5;
+            exit;
+        end
+        elsewhere:
+        begin
+            out = 42;
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 42
+
+    def test_case_values_use_constants(self):
+        tctx, __, program = execute("""
+        const ETYPE_IP = 0x0800;
+        reg out;
+        main:
+        begin
+            switch (0x0800) {
+                case ETYPE_IP:
+                    out = 1;
+                default:
+                    out = 0;
+            }
+            exit;
+        end
+        """)
+        assert reg(tctx, program, "out") == 1
+
+    def test_two_defaults_rejected(self):
+        with pytest.raises(CompileError, match="default"):
+            TrioCompiler().compile("""
+            main:
+            begin
+                switch (1) {
+                    default:
+                        exit;
+                    default:
+                        exit;
+                }
+                exit;
+            end
+            """)
+
+    def test_switch_body_counts_toward_budget(self):
+        with pytest.raises(CompileError, match="does not fit"):
+            TrioCompiler().compile("""
+            reg a; reg b; reg c;
+            main:
+            begin
+                switch (1) {
+                    case 1:
+                        a = 1;
+                        b = 2;
+                        c = 3;
+                }
+                exit;
+            end
+            """)

@@ -1,0 +1,266 @@
+"""Unit tests for the Microcode lexer, parser, and struct layout."""
+
+import pytest
+
+from repro.microcode import LexError, ParseError, StructLayout, tokenize
+from repro.microcode import read_bits, write_bits
+from repro.microcode.parser import parse
+from repro.microcode import ast_nodes as ast
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("struct foo begin end goto my_var")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            ("keyword", "struct"), ("ident", "foo"), ("keyword", "begin"),
+            ("keyword", "end"), ("keyword", "goto"), ("ident", "my_var"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x0800 0")
+        assert [int(t.text, 0) for t in tokens[:-1]] == [42, 2048, 0]
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a->b == c && d << 2")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["->", "==", "&&", "<<"]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_malformed_number_with_letters(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestBitAccess:
+    def test_read_bits_msb_first(self):
+        # 0xA5 = 1010 0101
+        assert read_bits(b"\xA5", 0, 4) == 0xA
+        assert read_bits(b"\xA5", 4, 4) == 0x5
+        assert read_bits(b"\xA5", 2, 3) == 0b100
+
+    def test_read_bits_across_bytes(self):
+        assert read_bits(b"\x12\x34", 4, 8) == 0x23
+
+    def test_write_bits_roundtrip(self):
+        buf = bytearray(4)
+        write_bits(buf, 5, 11, 0x5AB)
+        assert read_bits(buf, 5, 11) == 0x5AB
+        # Neighbours untouched.
+        assert read_bits(buf, 0, 5) == 0
+        assert read_bits(buf, 16, 16) == 0
+
+    def test_write_masks_oversized_value(self):
+        buf = bytearray(1)
+        write_bits(buf, 0, 4, 0xFF)
+        assert buf[0] == 0xF0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            read_bits(b"\x00", 4, 8)
+        with pytest.raises(ValueError):
+            write_bits(bytearray(1), -1, 4, 0)
+        with pytest.raises(ValueError):
+            read_bits(b"\x00", 0, 0)
+
+
+class TestStructLayout:
+    def test_field_offsets(self):
+        layout = StructLayout("ether_t", [("dmac", 48), ("smac", 48),
+                                          ("etype", 16)])
+        assert layout.size_bytes == 14
+        assert layout.field("etype").bit_offset == 96
+
+    def test_anonymous_padding(self):
+        layout = StructLayout("padded", [("a", 4), (None, 4), ("b", 8)])
+        assert layout.size_bytes == 2
+        assert layout.field("b").bit_offset == 8
+        assert list(layout.fields) == ["a", "b"]
+
+    def test_unaligned_total_rejected(self):
+        with pytest.raises(ValueError):
+            StructLayout("bad", [("a", 3)])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            StructLayout("bad", [("a", 4), ("a", 4)])
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(ValueError):
+            StructLayout("bad", [("a", 0)])
+
+    def test_pack_unpack_roundtrip(self):
+        layout = StructLayout("hdr", [("x", 4), ("y", 12), ("z", 16)])
+        data = layout.pack(x=0xA, y=0x123, z=0xBEEF)
+        assert layout.unpack(data) == {"x": 0xA, "y": 0x123, "z": 0xBEEF}
+
+    def test_read_write_at_base_offset(self):
+        layout = StructLayout("hdr", [("v", 8)])
+        buf = bytearray(10)
+        layout.write(buf, 3, "v", 0x7E)
+        assert buf[3] == 0x7E
+        assert layout.read(buf, 3, "v") == 0x7E
+
+    def test_unknown_field(self):
+        layout = StructLayout("hdr", [("v", 8)])
+        with pytest.raises(KeyError):
+            layout.field("w")
+
+
+class TestParser:
+    def test_struct_definition(self):
+        program = parse("struct t { a : 4; : 4; b : 8; };")
+        assert len(program.structs) == 1
+        assert program.structs[0].fields == [("a", 4), (None, 4), ("b", 8)]
+
+    def test_instruction_block(self):
+        program = parse("""
+        foo:
+        begin
+            goto bar;
+        end
+        """)
+        assert program.instructions[0].name == "foo"
+        assert isinstance(program.instructions[0].body[0], ast.Goto)
+
+    def test_if_else(self):
+        program = parse("""
+        reg r;
+        foo:
+        begin
+            if (r == 1) { goto a; } else { goto b; }
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.then_body[0], ast.Goto)
+        assert stmt.else_body[0].label == "b"
+
+    def test_if_without_braces(self):
+        program = parse("""
+        reg r;
+        foo:
+        begin
+            if (r) goto a;
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert stmt.then_body[0].label == "a"
+
+    def test_local_const_pointer(self):
+        program = parse("""
+        struct t { a : 8; };
+        foo:
+        begin
+            const t *p = 0 + sizeof(t);
+            exit;
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert isinstance(stmt, ast.LocalConst)
+        assert stmt.is_pointer and stmt.type_name == "t"
+
+    def test_untyped_local_const(self):
+        program = parse("""
+        foo:
+        begin
+            const : addr = 1 + 2 * 3;
+            exit;
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert stmt.type_name is None and not stmt.is_pointer
+
+    def test_call_statement(self):
+        program = parse("""
+        foo:
+        begin
+            CounterIncPhys(4, r_work.pkt_len);
+            exit;
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "CounterIncPhys"
+        assert len(stmt.args) == 2
+
+    def test_precedence(self):
+        program = parse("""
+        reg r;
+        foo:
+        begin
+            r = 1 + 2 * 3 == 7 && 1;
+            exit;
+        end
+        """)
+        expr = program.instructions[0].body[0].expr
+        # Top level should be &&.
+        assert isinstance(expr, ast.Binary) and expr.op == "&&"
+        assert expr.left.op == "=="
+
+    def test_top_level_declarations(self):
+        program = parse("""
+        const BASE = 0x100;
+        reg ir0;
+        struct t { a : 8; };
+        ptr p = t @ 14;
+        """)
+        assert program.consts[0].name == "BASE"
+        assert program.regs[0].name == "ir0"
+        assert program.ptrs[0].struct_name == "t"
+
+    def test_assignment_to_field(self):
+        program = parse("""
+        struct t { a : 8; };
+        ptr p = t @ 0;
+        foo:
+        begin
+            p->a = 5;
+            exit;
+        end
+        """)
+        stmt = program.instructions[0].body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Member)
+
+    def test_syntax_errors(self):
+        for bad in (
+            "struct t { a };",              # missing width
+            "foo: begin goto ; end",        # missing label
+            "foo begin end",                # missing colon
+            "const = 5;",                   # missing name
+            "foo: begin 1 + 2 end",         # expression is not a statement
+        ):
+            with pytest.raises(ParseError):
+                parse(bad)
+
+    def test_unexpected_top_level(self):
+        with pytest.raises(ParseError):
+            parse("42")

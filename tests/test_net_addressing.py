@@ -1,0 +1,100 @@
+"""Unit tests for MAC and IPv4 address types."""
+
+import pytest
+
+from repro.net import IPv4Address, MACAddress
+
+
+class TestMACAddress:
+    def test_parse_string(self):
+        mac = MACAddress("00:11:22:33:44:55")
+        assert int(mac) == 0x001122334455
+
+    def test_format_string(self):
+        assert str(MACAddress(0x001122334455)) == "00:11:22:33:44:55"
+
+    def test_roundtrip_bytes(self):
+        mac = MACAddress("de:ad:be:ef:00:01")
+        assert MACAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            MACAddress.from_bytes(b"\x00" * 5)
+
+    def test_broadcast(self):
+        assert MACAddress.broadcast().is_broadcast
+        assert str(MACAddress.broadcast()) == "ff:ff:ff:ff:ff:ff"
+        assert not MACAddress(1).is_broadcast
+
+    def test_multicast_bit(self):
+        assert MACAddress("01:00:5e:00:00:01").is_multicast
+        assert not MACAddress("00:00:5e:00:00:01").is_multicast
+
+    def test_equality_across_representations(self):
+        assert MACAddress("00:00:00:00:00:01") == MACAddress(1)
+        assert MACAddress(1) == 1
+        assert MACAddress(1) == "00:00:00:00:00:01"
+        assert MACAddress(1) != MACAddress(2)
+
+    def test_hashable(self):
+        assert len({MACAddress(1), MACAddress(1), MACAddress(2)}) == 2
+
+    def test_malformed_strings_rejected(self):
+        for bad in ("00:11:22:33:44", "zz:11:22:33:44:55", "0:0:0:0:0:0:0"):
+            with pytest.raises(ValueError):
+                MACAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            MACAddress(2**48)
+        with pytest.raises(ValueError):
+            MACAddress(-1)
+
+    def test_copy_constructor(self):
+        mac = MACAddress(42)
+        assert MACAddress(mac) == mac
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            MACAddress(3.14)
+
+
+class TestIPv4Address:
+    def test_parse_string(self):
+        assert int(IPv4Address("10.0.0.1")) == 0x0A000001
+
+    def test_format_string(self):
+        assert str(IPv4Address(0xC0A80101)) == "192.168.1.1"
+
+    def test_roundtrip_bytes(self):
+        ip = IPv4Address("172.16.254.3")
+        assert IPv4Address.from_bytes(ip.to_bytes()) == ip
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            IPv4Address.from_bytes(b"\x00" * 3)
+
+    def test_multicast_range(self):
+        assert IPv4Address("224.0.0.1").is_multicast
+        assert IPv4Address("239.255.255.255").is_multicast
+        assert not IPv4Address("223.255.255.255").is_multicast
+        assert not IPv4Address("240.0.0.0").is_multicast
+
+    def test_equality_across_representations(self):
+        assert IPv4Address("10.0.0.1") == IPv4Address(0x0A000001)
+        assert IPv4Address("10.0.0.1") == "10.0.0.1"
+        assert IPv4Address("10.0.0.1") != IPv4Address("10.0.0.2")
+
+    def test_hashable(self):
+        assert len({IPv4Address("1.2.3.4"), IPv4Address("1.2.3.4")}) == 1
+
+    def test_malformed_strings_rejected(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(ValueError):
+                IPv4Address(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+        with pytest.raises(ValueError):
+            IPv4Address(-5)

@@ -1,0 +1,136 @@
+"""Unit tests for the Ethernet/IPv4/UDP codecs."""
+
+import pytest
+
+from repro.net import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    HeaderError,
+    IPv4Address,
+    IPv4Header,
+    MACAddress,
+    UDPHeader,
+    ipv4_checksum,
+)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # Classic RFC 1071 example header.
+        header = bytes.fromhex(
+            "450000730000400040110000c0a80001c0a800c7"
+        )
+        checksum = ipv4_checksum(header)
+        assert checksum == 0xB861
+
+    def test_checksum_of_valid_header_is_zero(self):
+        header = IPv4Header(
+            src=IPv4Address("1.2.3.4"), dst=IPv4Address("5.6.7.8")
+        ).pack()
+        assert ipv4_checksum(header) == 0
+
+    def test_odd_length_padded(self):
+        assert ipv4_checksum(b"\xff") == ipv4_checksum(b"\xff\x00")
+
+
+class TestEthernetHeader:
+    def test_roundtrip(self):
+        header = EthernetHeader(
+            dst=MACAddress(2), src=MACAddress(1), ethertype=0x86DD
+        )
+        parsed, rest = EthernetHeader.parse(header.pack() + b"tail")
+        assert parsed == header
+        assert rest == b"tail"
+
+    def test_length(self):
+        assert len(EthernetHeader(MACAddress(1), MACAddress(2)).pack()) == 14
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            EthernetHeader.parse(b"\x00" * 13)
+
+    def test_bad_ethertype_rejected(self):
+        header = EthernetHeader(MACAddress(1), MACAddress(2),
+                                ethertype=0x1_0000)
+        with pytest.raises(HeaderError):
+            header.pack()
+
+
+class TestIPv4Header:
+    def make(self, **kwargs):
+        defaults = dict(src=IPv4Address("10.0.0.1"),
+                        dst=IPv4Address("10.0.0.2"),
+                        total_length=100)
+        defaults.update(kwargs)
+        return IPv4Header(**defaults)
+
+    def test_roundtrip(self):
+        header = self.make(ttl=17, identification=0xBEEF, protocol=6)
+        parsed, rest = IPv4Header.parse(header.pack() + b"xyz")
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.ttl == 17
+        assert parsed.identification == 0xBEEF
+        assert parsed.protocol == 6
+        assert rest == b"xyz"
+
+    def test_checksum_verified_on_parse(self):
+        raw = bytearray(self.make().pack())
+        raw[8] ^= 0xFF  # corrupt the TTL
+        with pytest.raises(HeaderError, match="checksum"):
+            IPv4Header.parse(bytes(raw))
+
+    def test_checksum_check_can_be_skipped(self):
+        raw = bytearray(self.make().pack())
+        raw[8] ^= 0xFF
+        header, __ = IPv4Header.parse(bytes(raw), verify_checksum=False)
+        assert header.ttl == 64 ^ 0xFF
+
+    def test_non_ipv4_version_rejected(self):
+        raw = bytearray(self.make().pack())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(HeaderError, match="version"):
+            IPv4Header.parse(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            IPv4Header.parse(b"\x45" + b"\x00" * 10)
+
+    def test_options_cannot_be_packed(self):
+        header = self.make(ihl=6)
+        with pytest.raises(HeaderError):
+            header.pack()
+
+    def test_total_length_bounds(self):
+        with pytest.raises(HeaderError):
+            self.make(total_length=19).pack()
+        with pytest.raises(HeaderError):
+            self.make(total_length=0x10000).pack()
+
+    def test_header_length_property(self):
+        assert self.make().header_length == 20
+        assert self.make(ihl=6).header_length == 24
+
+
+class TestUDPHeader:
+    def test_roundtrip(self):
+        header = UDPHeader(src_port=1234, dst_port=12000, length=108)
+        parsed, rest = UDPHeader.parse(header.pack() + b"payload")
+        assert parsed == header
+        assert rest == b"payload"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            UDPHeader.parse(b"\x00" * 7)
+
+    def test_port_bounds(self):
+        with pytest.raises(HeaderError):
+            UDPHeader(src_port=-1, dst_port=1).pack()
+        with pytest.raises(HeaderError):
+            UDPHeader(src_port=1, dst_port=0x10000).pack()
+
+    def test_bad_length_field_rejected(self):
+        raw = UDPHeader(src_port=1, dst_port=2, length=8).pack()
+        corrupted = raw[:4] + (3).to_bytes(2, "big") + raw[6:]
+        with pytest.raises(HeaderError):
+            UDPHeader.parse(corrupted)

@@ -1,0 +1,140 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.net import (
+    Host,
+    IPv4Address,
+    MACAddress,
+    Packet,
+    PacketTracer,
+    Topology,
+)
+from repro.sim import Environment
+from repro.trio import PFE
+
+
+def two_hosts_one_pfe():
+    env = Environment()
+    pfe = PFE(env, "pfe1", num_ports=2)
+    topo = Topology(env)
+    h0 = Host(env, "h0", MACAddress(1), IPv4Address("10.0.0.1"))
+    h1 = Host(env, "h1", MACAddress(2), IPv4Address("10.0.0.2"))
+    topo.connect(h0.nic.port, pfe.port(0))
+    topo.connect(h1.nic.port, pfe.port(1))
+    pfe.add_route(h1.ip, "pfe1.p1")
+    return env, pfe, h0, h1
+
+
+class TestPacketTracer:
+    def test_captures_rx_and_tx(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0))
+        tracer.tap(pfe.port(1))
+
+        def send():
+            yield h0.send_udp(h1.mac, h1.ip, 1000, 2000, b"traced")
+
+        env.process(send())
+        env.run(until=1e-3)
+        counts = tracer.counts_by_port()
+        assert counts[("pfe1.p0", "rx")] == 1
+        assert counts[("pfe1.p1", "tx")] == 1
+
+    def test_capture_does_not_perturb_forwarding(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0))
+
+        def send():
+            yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"x")
+
+        def recv():
+            packet = yield h1.recv()
+            return packet.parse_udp()[3]
+
+        env.process(send())
+        p = env.process(recv())
+        assert env.run(until=p) == b"x"
+
+    def test_summary_includes_five_tuple(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0), directions=("rx",))
+
+        def send():
+            yield h0.send_udp(h1.mac, h1.ip, 1234, 5678, b"payload")
+
+        env.process(send())
+        env.run(until=1e-3)
+        frame = tracer.frames[0]
+        assert "10.0.0.1:1234 > 10.0.0.2:5678" in frame.summary
+        assert frame.direction == "rx"
+        assert frame.length == 14 + 20 + 8 + 7
+
+    def test_non_udp_summarised_by_ethertype(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0), directions=("rx",))
+        from repro.net.headers import EthernetHeader
+        ether = EthernetHeader(h1.mac, h0.mac, ethertype=0x0806)
+
+        def send():
+            yield h0.nic.send(Packet(ether.pack() + bytes(46)))
+
+        env.process(send())
+        env.run(until=1e-3)
+        assert "ethertype=0x0806" in tracer.frames[0].summary
+
+    def test_filter_and_at_port(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0))
+        tracer.tap(pfe.port(1))
+
+        def send():
+            for __ in range(3):
+                yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"x")
+
+        env.process(send())
+        env.run(until=1e-3)
+        assert len(tracer.at_port("pfe1.p0")) == 3
+        big = tracer.filter(lambda f: f.length > 10_000)
+        assert big == []
+
+    def test_capacity_cap(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer(max_frames=2)
+        tracer.tap(pfe.port(0), directions=("rx",))
+
+        def send():
+            for __ in range(5):
+                yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"x")
+
+        env.process(send())
+        env.run(until=1e-3)
+        assert len(tracer.frames) == 2
+        assert tracer.dropped_capacity == 3
+
+    def test_render(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0))
+
+        def send():
+            for __ in range(3):
+                yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"x")
+
+        env.process(send())
+        env.run(until=1e-3)
+        rendered = tracer.render(limit=2)
+        assert "pfe1.p0" in rendered
+        assert "1 more frames" in rendered
+
+    def test_unknown_direction_rejected(self):
+        env = Environment()
+        from repro.net import Port
+        tracer = PacketTracer()
+        with pytest.raises(ValueError):
+            tracer.tap(Port(env, "p"), directions=("sideways",))

@@ -1,0 +1,219 @@
+"""Unit tests for the PISA pipeline model and the Tofino switch."""
+
+import pytest
+
+from repro.net import Host, IPv4Address, MACAddress, Packet, Topology
+from repro.pisa import (
+    P4Program,
+    PipelineError,
+    PisaPipeline,
+    RegisterArray,
+    StageContext,
+    TofinoSwitch,
+)
+from repro.pisa.pipeline import PassResult
+from repro.sim import Environment
+
+
+class TestRegisterArray:
+    def test_values_masked_to_width(self):
+        reg = RegisterArray("r", stage=0, size=4, width_bits=16)
+        reg.write_raw(0, 0x1_2345)
+        assert reg.read_raw(0) == 0x2345
+
+    def test_index_bounds(self):
+        reg = RegisterArray("r", stage=0, size=4)
+        with pytest.raises(PipelineError):
+            reg.read_raw(4)
+        with pytest.raises(PipelineError):
+            reg.write_raw(-1, 0)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(PipelineError):
+            RegisterArray("r", stage=0, size=4, width_bits=24)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(PipelineError):
+            RegisterArray("r", stage=0, size=0)
+
+    def test_bits_footprint(self):
+        assert RegisterArray("r", 0, 100, 32).bits == 3200
+
+
+class TestStageContext:
+    def make(self, num_stages=12):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe", num_stages=num_stages)
+        return StageContext(pipeline)
+
+    def test_stage_forward_only(self):
+        ctx = self.make()
+        ctx.stage(3)
+        with pytest.raises(PipelineError, match="backwards"):
+            ctx.stage(2)
+
+    def test_stage_beyond_depth_rejected(self):
+        ctx = self.make(num_stages=4)
+        with pytest.raises(PipelineError):
+            ctx.stage(4)
+
+    def test_register_only_from_owning_stage(self):
+        ctx = self.make()
+        reg = RegisterArray("r", stage=5, size=4)
+        with pytest.raises(PipelineError, match="stage"):
+            ctx.read(reg, 0)
+        ctx.stage(5)
+        assert ctx.read(reg, 0) == 0
+
+    def test_one_access_per_register_per_pass(self):
+        ctx = self.make()
+        reg = RegisterArray("r", stage=0, size=4)
+        ctx.read(reg, 0)
+        with pytest.raises(PipelineError, match="twice"):
+            ctx.write(reg, 0, 1)
+
+    def test_per_stage_access_budget(self):
+        ctx = self.make()
+        regs = [RegisterArray(f"r{i}", stage=0, size=1)
+                for i in range(StageContext.MAX_ACCESSES_PER_STAGE + 1)]
+        for reg in regs[:-1]:
+            ctx.read(reg, 0)
+        with pytest.raises(PipelineError, match="budget"):
+            ctx.read(regs[-1], 0)
+
+    def test_budget_resets_per_stage(self):
+        ctx = self.make()
+        limit = StageContext.MAX_ACCESSES_PER_STAGE
+        for stage in (0, 1):
+            ctx.stage(stage)
+            for i in range(limit):
+                ctx.read(RegisterArray(f"r{stage}_{i}", stage=stage, size=1), 0)
+
+    def test_read_modify_write_atomic(self):
+        ctx = self.make()
+        reg = RegisterArray("r", stage=0, size=1)
+        reg.write_raw(0, 10)
+        old, new = ctx.read_modify_write(reg, 0, lambda v: v + 5)
+        assert (old, new) == (10, 15)
+        assert reg.read_raw(0) == 15
+
+
+class TestPisaPipeline:
+    def test_program_registers_validated_against_stage_budget(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe", num_stages=2)
+
+        class Greedy(P4Program):
+            def on_install(self, pipeline):
+                # One register bigger than the per-stage SRAM budget.
+                self.register("big", stage=0,
+                              size=PisaPipeline.STAGE_SRAM_BITS // 32 + 1)
+
+        with pytest.raises(PipelineError, match="budget"):
+            pipeline.install(Greedy())
+
+    def test_register_stage_placement_validated(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe", num_stages=2)
+
+        class Misplaced(P4Program):
+            def on_install(self, pipeline):
+                self.register("r", stage=5, size=4)
+
+        with pytest.raises(PipelineError, match="stage"):
+            pipeline.install(Misplaced())
+
+    def test_pass_latency_applied(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe", pass_latency_s=600e-9,
+                                packet_rate_pps=1e9)
+        emitted = []
+        pipeline.set_emit_handler(lambda p, e: emitted.append(env.now))
+
+        class Echo(P4Program):
+            def process(self, ctx, packet, pass_index):
+                return PassResult(emit=[(packet, "out")])
+
+        pipeline.install(Echo())
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        assert emitted == [pytest.approx(600e-9 + 1e-9)]
+
+    def test_recirculation_consumes_extra_pass(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+        done = []
+
+        class TwoPass(P4Program):
+            def process(self, ctx, packet, pass_index):
+                if pass_index == 0:
+                    return PassResult(recirculate=True)
+                done.append(pass_index)
+                return PassResult(dropped=True)
+
+        pipeline.install(TwoPass())
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        assert done == [1]
+        assert pipeline.recirculations == 1
+        assert pipeline.passes == 2
+
+    def test_duplicate_register_name_rejected(self):
+        program = P4Program()
+        program.register("r", 0, 1)
+        with pytest.raises(PipelineError):
+            program.register("r", 1, 1)
+
+    def test_no_program_drops(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        assert pipeline.drops == 1
+
+
+class TestTofinoSwitch:
+    def test_port_to_pipeline_mapping(self):
+        env = Environment()
+        switch = TofinoSwitch(env, num_pipelines=4, ports_per_pipeline=16)
+        assert len(switch.ports) == 64
+        assert switch.port(2, 5).name == "tofino.pipe2.p5"
+
+    def test_l3_forwarding_between_hosts(self):
+        env = Environment()
+        switch = TofinoSwitch(env)
+
+        class Forward(P4Program):
+            def process(self, ctx, packet, pass_index):
+                return PassResult(emit=[(packet, None)])
+
+        switch.install(0, Forward())
+        topo = Topology(env)
+        h0 = Host(env, "h0", MACAddress(1), IPv4Address("10.0.0.1"))
+        h1 = Host(env, "h1", MACAddress(2), IPv4Address("10.0.0.2"))
+        topo.connect(h0.nic.port, switch.port(0, 0))
+        topo.connect(h1.nic.port, switch.port(0, 1))
+        switch.add_route(h1.ip, switch.port(0, 1).name)
+
+        def send():
+            yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"via tofino")
+
+        def recv():
+            packet = yield h1.recv()
+            return packet.parse_udp()[3]
+
+        env.process(send())
+        p = env.process(recv())
+        assert env.run(until=p) == b"via tofino"
+
+    def test_install_all_gives_independent_instances(self):
+        env = Environment()
+        switch = TofinoSwitch(env, num_pipelines=2)
+        programs = switch.install_all(lambda: P4Program())
+        assert programs[0] is not programs[1]
+
+    def test_add_route_validates_port(self):
+        env = Environment()
+        switch = TofinoSwitch(env)
+        with pytest.raises(ValueError):
+            switch.add_route(IPv4Address("1.1.1.1"), "ghost")

@@ -1,0 +1,183 @@
+"""Unit tests for Resource, Store, and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queued == 1
+
+    def test_release_grants_fifo(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            req = resource.request()
+            yield req
+            order.append((tag, env.now))
+            yield env.timeout(hold)
+            resource.release()
+
+        env.process(user("a", 3))
+        env.process(user("b", 1))
+        env.process(user("c", 1))
+        env.run()
+        assert order == [("a", 0.0), ("b", 3.0), ("c", 4.0)]
+
+    def test_release_without_request_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env).release()
+
+    def test_contention_serialises_work(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def worker():
+            req = resource.request()
+            yield req
+            yield env.timeout(1.0)
+            resource.release()
+
+        procs = [env.process(worker()) for __ in range(5)]
+        env.run(until=env.all_of(procs))
+        assert env.now == 5.0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc():
+            yield store.put("item")
+            value = yield store.get()
+            return value
+
+        p = env.process(proc())
+        assert env.run(until=p) == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def getter():
+            value = yield store.get()
+            return (value, env.now)
+
+        def putter():
+            yield env.timeout(2)
+            store.put("late")
+
+        p = env.process(getter())
+        env.process(putter())
+        assert env.run(until=p) == ("late", 2.0)
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def getter():
+            for __ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(getter()))
+        assert got == [1, 2, 3]
+
+    def test_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                times.append(env.now)
+
+        def consumer():
+            while True:
+                yield env.timeout(1.0)
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run(until=10)
+        # First put immediate; each subsequent put waits for a get.
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_try_get_nonblocking(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items == ["a", "b"]
+
+
+class TestPriorityStore:
+    def test_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        for item in (5, 1, 3):
+            store.put(item)
+        got = []
+
+        def getter():
+            for __ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(getter()))
+        assert got == [1, 3, 5]
+
+    def test_waiting_getter_gets_minimum(self):
+        env = Environment()
+        store = PriorityStore(env)
+
+        def getter():
+            value = yield store.get()
+            return value
+
+        p = env.process(getter())
+        env.run(until=0.1)
+        store.put(9)
+        assert env.run(until=p) == 9
+
+    def test_try_get(self):
+        env = Environment()
+        store = PriorityStore(env)
+        assert store.try_get() is None
+        store.put(2)
+        store.put(1)
+        assert store.try_get() == 1
