@@ -1,0 +1,89 @@
+"""Fast-path kernel performance and determinism checks.
+
+The ISSUE's acceptance bar: the pooled-delay hot loop must sustain at
+least 3x the seed kernel's ~500k events/s (i.e. >= 1.5M events/s), and
+figure sweeps must be bit-identical whether run serially, through the
+fast path, or fanned across processes with ``--parallel``.
+
+Thresholds use :func:`time.process_time` best-of-N with the GC paused
+(see :mod:`repro.harness.perfjson` for the methodology), so they hold on
+a loaded shared box; they are still throughput assertions, so run this
+file on an otherwise-idle interpreter for trustworthy numbers.
+"""
+
+from __future__ import annotations
+
+from repro.harness import perfjson
+from repro.harness.experiments import (
+    FIG15_GRAD_COUNTS,
+    _fig15_point,
+    _map_points,
+    fig15_latency_rate,
+)
+
+#: 3x the seed baseline the issue quotes (~500k events/s).
+MIN_DELAY_EVENTS_PER_S = 1_500_000
+
+
+def _sustained(bench, floor: float, attempts: int = 3) -> float:
+    """Best rate over up to ``attempts`` measurement rounds.
+
+    A shared runner can stall any single round; a throughput *capability*
+    assertion only needs one clean round, so stop as soon as the floor
+    is met.
+    """
+    best = 0.0
+    for _ in range(attempts):
+        best = max(best, bench(events=200_000, repeats=5))
+        if best >= floor:
+            break
+    return best
+
+
+def test_delay_path_meets_3x_throughput_floor():
+    rate = _sustained(perfjson.bench_delay_path, MIN_DELAY_EVENTS_PER_S)
+    assert rate >= MIN_DELAY_EVENTS_PER_S, (
+        f"pooled delay path sustained {rate:,.0f} events/s, "
+        f"below the {MIN_DELAY_EVENTS_PER_S:,} floor"
+    )
+
+
+def test_timeout_path_not_regressed():
+    """The general (unpooled) path must stay above the seed baseline."""
+    floor = perfjson.SEED_BASELINE["timeout_events_per_s"] * 0.85
+    rate = _sustained(perfjson.bench_timeout_path, floor)
+    assert rate >= floor, (
+        f"timeout path sustained {rate:,.0f} events/s, below the seed "
+        f"baseline floor of {floor:,.0f}"
+    )
+
+
+def test_macro_packet_path_reports_throughput():
+    stats = perfjson.bench_packet_path(blocks=40, repeats=2)
+    assert stats["packets"] > 0
+    assert stats["packets_per_s"] > 0
+    assert stats["scheduled_events"] > stats["packets"]
+
+
+def test_fig15_serial_parallel_bit_identical():
+    """Same rows AND same kernel event counts, serial vs ``--parallel``.
+
+    Every sweep point builds its Environment from its arguments alone,
+    so process fan-out cannot change any simulated result; the scheduled
+    event count is the kernel-level fingerprint that would catch even a
+    result-preserving divergence in event order bookkeeping.
+    """
+    points = [(grads, 5) for grads in FIG15_GRAD_COUNTS]
+    serial = _map_points(_fig15_point, points, parallel=None)
+    fanned = _map_points(_fig15_point, points, parallel=2)
+    assert [row for row, _ in serial] == [row for row, _ in fanned]
+    assert [events for _, events in serial] == [
+        events for _, events in fanned
+    ]
+
+
+def test_fig15_driver_parallel_matches_serial():
+    """The public driver agrees with itself under ``parallel=``."""
+    assert fig15_latency_rate(blocks=3) == fig15_latency_rate(
+        blocks=3, parallel=2
+    )

@@ -6,9 +6,13 @@ Usage::
     python -m repro.harness table1 fig14 fig15
     python -m repro.harness all
     python -m repro.harness fig16 --fast
+    python -m repro.harness fig15 fig16 --parallel 4
 
 ``--fast`` shrinks the packet-level sweeps (fewer blocks, smaller
 windows) for a quick smoke run; the full runs match EXPERIMENTS.md.
+``--parallel N`` fans the independent points of each sweep across up to
+N worker processes; every point is deterministic in isolation, so the
+results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -32,8 +36,8 @@ def _run_fig12() -> str:
     return figures.render_fig12(exp.fig12_time_to_accuracy())
 
 
-def _run_fig13(chart: bool = False) -> str:
-    results = exp.fig13_iteration_time()
+def _run_fig13(chart: bool = False, parallel=None) -> str:
+    results = exp.fig13_iteration_time(parallel=parallel)
     rendered = figures.render_fig13(results)
     if chart:
         panels = [charts.fig13_chart(results, model) for model in results]
@@ -41,21 +45,21 @@ def _run_fig13(chart: bool = False) -> str:
     return rendered
 
 
-def _run_fig14(fast: bool) -> str:
+def _run_fig14(fast: bool, parallel=None) -> str:
     return figures.render_fig14(exp.fig14_mitigation(
-        blocks=8 if fast else 20
+        blocks=8 if fast else 20, parallel=parallel
     ))
 
 
-def _run_fig15(fast: bool) -> str:
+def _run_fig15(fast: bool, parallel=None) -> str:
     return figures.render_fig15(exp.fig15_latency_rate(
-        blocks=20 if fast else 100
+        blocks=20 if fast else 100, parallel=parallel
     ))
 
 
-def _run_fig16(fast: bool, chart: bool = False) -> str:
+def _run_fig16(fast: bool, chart: bool = False, parallel=None) -> str:
     windows = (1, 4, 16, 64, 256) if fast else exp.FIG16_WINDOWS
-    results = exp.fig16_window_sweep(windows=windows)
+    results = exp.fig16_window_sweep(windows=windows, parallel=parallel)
     rendered = figures.render_fig16(results)
     if chart:
         panels = [charts.fig16_chart(results, grads) for grads in results]
@@ -67,15 +71,15 @@ def _run_analysis() -> str:
     return figures.render_program_analysis(exp.microcode_program_analysis())
 
 
-def _run_generations(fast: bool) -> str:
+def _run_generations(fast: bool, parallel=None) -> str:
     return figures.render_generation_scaling(exp.generation_scaling(
-        blocks=32 if fast else 128
+        blocks=32 if fast else 128, parallel=parallel
     ))
 
 
-def _run_loss(fast: bool) -> str:
+def _run_loss(fast: bool, parallel=None) -> str:
     return figures.render_loss_recovery(exp.loss_recovery_sweep(
-        blocks=16 if fast else 32
+        blocks=16 if fast else 32, parallel=parallel
     ))
 
 
@@ -109,19 +113,19 @@ def _run_ablations(fast: bool) -> str:
     return "\n\n".join(sections)
 
 
-def build_registry(fast: bool, chart: bool = False
+def build_registry(fast: bool, chart: bool = False, parallel=None
                    ) -> Dict[str, Callable[[], str]]:
     return {
         "table1": _run_table1,
         "fig12": _run_fig12,
-        "fig13": partial(_run_fig13, chart),
-        "fig14": partial(_run_fig14, fast),
-        "fig15": partial(_run_fig15, fast),
-        "fig16": partial(_run_fig16, fast, chart),
+        "fig13": partial(_run_fig13, chart, parallel=parallel),
+        "fig14": partial(_run_fig14, fast, parallel=parallel),
+        "fig15": partial(_run_fig15, fast, parallel=parallel),
+        "fig16": partial(_run_fig16, fast, chart, parallel=parallel),
         "analysis": _run_analysis,
         "ablations": partial(_run_ablations, fast),
-        "generations": partial(_run_generations, fast),
-        "loss": partial(_run_loss, fast),
+        "generations": partial(_run_generations, fast, parallel=parallel),
+        "loss": partial(_run_loss, fast, parallel=parallel),
     }
 
 
@@ -142,8 +146,15 @@ def main(argv=None) -> int:
         "--chart", action="store_true",
         help="append ASCII charts to figure output (fig13, fig16)",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan independent sweep points across up to N worker "
+             "processes (results are bit-identical to a serial run)",
+    )
     args = parser.parse_args(argv)
-    registry = build_registry(args.fast, args.chart)
+    if args.parallel is not None and args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+    registry = build_registry(args.fast, args.chart, args.parallel)
 
     names = args.experiments
     if names == ["list"]:

@@ -53,6 +53,28 @@ __all__ = [
 
 #: Straggle probabilities swept in Figure 13 (x-axis 0..16%).
 FIG13_PROBABILITIES = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16)
+
+
+def _map_points(worker: Callable, points: Sequence,
+                parallel: Optional[int] = None) -> List:
+    """Run ``worker`` over independent sweep points, optionally fanning
+    them across worker processes.
+
+    Every sweep point builds its own :class:`Environment` from its
+    arguments alone, so each point is deterministic in isolation —
+    executing points in separate processes cannot change any result.
+    ``ProcessPoolExecutor.map`` preserves input order, so the returned
+    list is bit-identical to the serial loop.
+    """
+    points = list(points)
+    if not parallel or parallel <= 1 or len(points) <= 1:
+        return [worker(point) for point in points]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+        max_workers=min(parallel, len(points))
+    ) as pool:
+        return list(pool.map(worker, points))
 #: Gradient-per-packet sweep of Figure 15.
 FIG15_GRAD_COUNTS = (64, 128, 256, 512, 1024)
 #: Window sweep of Figure 16.
@@ -154,38 +176,47 @@ class Fig13Row:
         return self.switchml_ms / self.trioml_ms
 
 
+def _fig13_point(args: Tuple[str, float, int, int]) -> Fig13Row:
+    """One (model, probability) point of Figure 13."""
+    key, probability, iterations, seed = args
+    model = MODEL_ZOO[key]
+    averages = {}
+    for system in ("ideal", "trioml", "switchml"):
+        trainer = DataParallelTrainer(
+            TrainingConfig(
+                model=model,
+                system=system,
+                straggle_probability=probability,
+                seed=seed,
+            )
+        )
+        averages[system] = trainer.average_iteration_s(iterations)
+    return Fig13Row(
+        probability=probability,
+        ideal_ms=averages["ideal"] * 1e3,
+        trioml_ms=averages["trioml"] * 1e3,
+        switchml_ms=averages["switchml"] * 1e3,
+    )
+
+
 def fig13_iteration_time(
     probabilities: Sequence[float] = FIG13_PROBABILITIES,
     iterations: int = 100,
     seed: int = 0,
     models: Optional[Sequence[str]] = None,
+    parallel: Optional[int] = None,
 ) -> Dict[str, List[Fig13Row]]:
     """Figure 13: average iteration time of the first 100 iterations."""
+    keys = list(models or MODEL_ZOO)
+    points = [
+        (key, probability, iterations, seed)
+        for key in keys
+        for probability in probabilities
+    ]
+    rows = _map_points(_fig13_point, points, parallel)
     results: Dict[str, List[Fig13Row]] = {}
-    for key in models or MODEL_ZOO:
-        model = MODEL_ZOO[key]
-        rows: List[Fig13Row] = []
-        for probability in probabilities:
-            averages = {}
-            for system in ("ideal", "trioml", "switchml"):
-                trainer = DataParallelTrainer(
-                    TrainingConfig(
-                        model=model,
-                        system=system,
-                        straggle_probability=probability,
-                        seed=seed,
-                    )
-                )
-                averages[system] = trainer.average_iteration_s(iterations)
-            rows.append(
-                Fig13Row(
-                    probability=probability,
-                    ideal_ms=averages["ideal"] * 1e3,
-                    trioml_ms=averages["trioml"] * 1e3,
-                    switchml_ms=averages["switchml"] * 1e3,
-                )
-            )
-        results[key] = rows
+    for (key, *_), row in zip(points, rows):
+        results.setdefault(key, []).append(row)
     return results
 
 
@@ -202,11 +233,43 @@ class Fig14Row:
     blocks_mitigated: int
 
 
+def _fig14_point(args: Tuple[float, int, int, int]) -> Fig14Row:
+    """One timeout point of Figure 14."""
+    timeout_ms, blocks, grads_per_packet, detector_threads = args
+    env = Environment()
+    config = TrioMLJobConfig(
+        grads_per_packet=grads_per_packet,
+        window=blocks,
+        timeout_s=timeout_ms / 1e3,
+        detector_threads=detector_threads,
+    )
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=4, with_detector=True
+    )
+    vector = [1] * (grads_per_packet * blocks)
+    senders = testbed.workers[:3]  # server 4 is the straggler
+    procs = [env.process(w.allreduce(vector)) for w in senders]
+    env.run(until=env.all_of(procs))
+    mitigation_ms: List[float] = []
+    for worker in senders:
+        for key, sent in worker.send_times.items():
+            received = worker.result_times.get(key)
+            if received is not None:
+                mitigation_ms.append((received - sent) * 1e3)
+    return Fig14Row(
+        timeout_ms=timeout_ms,
+        mean_mitigation_ms=sum(mitigation_ms) / len(mitigation_ms),
+        max_mitigation_ms=max(mitigation_ms),
+        blocks_mitigated=len(mitigation_ms),
+    )
+
+
 def fig14_mitigation(
     timeouts_ms: Sequence[float] = FIG14_TIMEOUTS_MS,
     blocks: int = 20,
     grads_per_packet: int = 256,
     detector_threads: int = 20,
+    parallel: Optional[int] = None,
 ) -> List[Fig14Row]:
     """Figure 14: time from sending an aggregation packet to receiving the
     (partial) result, with one permanently straggling server.
@@ -216,37 +279,11 @@ def fig14_mitigation(
     the measured latency is the straggler-detection time — the paper's
     claim is that it stays within 2x the timeout interval.
     """
-    rows: List[Fig14Row] = []
-    for timeout_ms in timeouts_ms:
-        env = Environment()
-        config = TrioMLJobConfig(
-            grads_per_packet=grads_per_packet,
-            window=blocks,
-            timeout_s=timeout_ms / 1e3,
-            detector_threads=detector_threads,
-        )
-        testbed = build_single_pfe_testbed(
-            env, config, num_workers=4, with_detector=True
-        )
-        vector = [1] * (grads_per_packet * blocks)
-        senders = testbed.workers[:3]  # server 4 is the straggler
-        procs = [env.process(w.allreduce(vector)) for w in senders]
-        env.run(until=env.all_of(procs))
-        mitigation_ms: List[float] = []
-        for worker in senders:
-            for key, sent in worker.send_times.items():
-                received = worker.result_times.get(key)
-                if received is not None:
-                    mitigation_ms.append((received - sent) * 1e3)
-        rows.append(
-            Fig14Row(
-                timeout_ms=timeout_ms,
-                mean_mitigation_ms=sum(mitigation_ms) / len(mitigation_ms),
-                max_mitigation_ms=max(mitigation_ms),
-                blocks_mitigated=len(mitigation_ms),
-            )
-        )
-    return rows
+    points = [
+        (timeout_ms, blocks, grads_per_packet, detector_threads)
+        for timeout_ms in timeouts_ms
+    ]
+    return _map_points(_fig14_point, points, parallel)
 
 
 # ---------------------------------------------------------------------------
@@ -261,30 +298,39 @@ class Fig15Row:
     rate_grads_per_us: float
 
 
+def _fig15_point(args: Tuple[int, int]) -> Tuple[Fig15Row, int]:
+    """One gradients-per-packet point of Figure 15.
+
+    Returns the row plus the kernel's total scheduled-event count — the
+    determinism fingerprint the regression test compares across serial,
+    fast-path, and ``--parallel`` runs.
+    """
+    grads, blocks = args
+    env = Environment()
+    config = TrioMLJobConfig(grads_per_packet=grads, window=1)
+    testbed = build_single_pfe_testbed(env, config, num_workers=4)
+    vector = [1] * (grads * blocks)
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    latencies = testbed.handle.aggregator.packet_latencies
+    mean_latency_s = sum(latencies) / len(latencies)
+    row = Fig15Row(
+        grads_per_packet=grads,
+        latency_us=mean_latency_s * 1e6,
+        rate_grads_per_us=grads / (mean_latency_s * 1e6),
+    )
+    return row, env.scheduled_events
+
+
 def fig15_latency_rate(
     grad_counts: Sequence[int] = FIG15_GRAD_COUNTS,
     blocks: int = 100,
+    parallel: Optional[int] = None,
 ) -> List[Fig15Row]:
     """Figure 15: per-PFE aggregation latency (window = 1) and the derived
     aggregation rate, as gradients-per-packet grows."""
-    rows: List[Fig15Row] = []
-    for grads in grad_counts:
-        env = Environment()
-        config = TrioMLJobConfig(grads_per_packet=grads, window=1)
-        testbed = build_single_pfe_testbed(env, config, num_workers=4)
-        vector = [1] * (grads * blocks)
-        procs = testbed.run_allreduce([vector] * 4)
-        env.run(until=env.all_of(procs))
-        latencies = testbed.handle.aggregator.packet_latencies
-        mean_latency_s = sum(latencies) / len(latencies)
-        rows.append(
-            Fig15Row(
-                grads_per_packet=grads,
-                latency_us=mean_latency_s * 1e6,
-                rate_grads_per_us=grads / (mean_latency_s * 1e6),
-            )
-        )
-    return rows
+    points = [(grads, blocks) for grads in grad_counts]
+    return [row for row, _ in _map_points(_fig15_point, points, parallel)]
 
 
 # ---------------------------------------------------------------------------
@@ -299,39 +345,48 @@ class Fig16Row:
     throughput_gbps: float
 
 
+def _fig16_point(args: Tuple[int, int, int]) -> Fig16Row:
+    """One (grads, window) point of Figure 16."""
+    grads, window, blocks = args
+    env = Environment()
+    config = TrioMLJobConfig(grads_per_packet=grads, window=window)
+    testbed = build_single_pfe_testbed(env, config, num_workers=4)
+    vector = [1] * (grads * blocks)
+    start = env.now
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    elapsed = env.now - start
+    aggregator = testbed.handle.aggregator
+    latencies = aggregator.packet_latencies
+    total_bits = aggregator.gradients_aggregated * 32
+    return Fig16Row(
+        window=window,
+        latency_us=sum(latencies) / len(latencies) * 1e6,
+        throughput_gbps=total_bits / elapsed / 1e9,
+    )
+
+
 def fig16_window_sweep(
     windows: Sequence[int] = FIG16_WINDOWS,
     grad_counts: Sequence[int] = (512, 1024),
     blocks_for: Optional[Callable[[int], int]] = None,
+    parallel: Optional[int] = None,
 ) -> Dict[int, List[Fig16Row]]:
     """Figure 16: aggregation latency and PFE throughput vs window size,
     for Trio-ML-512 and Trio-ML-1024."""
     if blocks_for is None:
         blocks_for = lambda window: max(128, min(2 * window, window + 1024))
+    # blocks_for is resolved here so the sweep points stay picklable even
+    # when the caller passes a lambda.
+    points = [
+        (grads, window, blocks_for(window))
+        for grads in grad_counts
+        for window in windows
+    ]
+    rows = _map_points(_fig16_point, points, parallel)
     results: Dict[int, List[Fig16Row]] = {}
-    for grads in grad_counts:
-        rows: List[Fig16Row] = []
-        for window in windows:
-            blocks = blocks_for(window)
-            env = Environment()
-            config = TrioMLJobConfig(grads_per_packet=grads, window=window)
-            testbed = build_single_pfe_testbed(env, config, num_workers=4)
-            vector = [1] * (grads * blocks)
-            start = env.now
-            procs = testbed.run_allreduce([vector] * 4)
-            env.run(until=env.all_of(procs))
-            elapsed = env.now - start
-            aggregator = testbed.handle.aggregator
-            latencies = aggregator.packet_latencies
-            total_bits = aggregator.gradients_aggregated * 32
-            rows.append(
-                Fig16Row(
-                    window=window,
-                    latency_us=sum(latencies) / len(latencies) * 1e6,
-                    throughput_gbps=total_bits / elapsed / 1e9,
-                )
-            )
-        results[grads] = rows
+    for (grads, *_), row in zip(points, rows):
+        results.setdefault(grads, []).append(row)
     return results
 
 
@@ -409,49 +464,52 @@ class LossRow:
     results_replayed: int
 
 
+def _loss_point(args: Tuple[float, int, int]) -> LossRow:
+    """One loss-rate point of the loss-recovery sweep."""
+    loss_rate, blocks, grads_per_packet = args
+    env = Environment()
+    config = TrioMLJobConfig(
+        grads_per_packet=grads_per_packet,
+        window=8,
+        loss_recovery=True,
+        retransmit_timeout_s=0.002,
+    )
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=4, link_loss_rate=loss_rate
+    )
+    vector = [1] * (grads_per_packet * blocks)
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    for proc in procs:
+        if any(block.values != [4] * grads_per_packet
+               for block in proc.value):
+            raise AssertionError(
+                f"loss recovery produced a wrong sum at {loss_rate:.0%}"
+            )
+    runtime = next(iter(testbed.handle.runtimes.values()))
+    return LossRow(
+        loss_rate=loss_rate,
+        completion_ms=env.now * 1e3,
+        frames_lost=sum(l.frames_lost for l in testbed.topology.links),
+        retransmissions=sum(w.retransmissions for w in testbed.workers),
+        results_replayed=runtime.results_replayed,
+    )
+
+
 def loss_recovery_sweep(
     loss_rates: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.10),
     blocks: int = 32,
     grads_per_packet: int = 256,
+    parallel: Optional[int] = None,
 ) -> List[LossRow]:
     """Supplementary experiment: allreduce completion under transient
     packet loss with the §7 resiliency provisions enabled (worker
     retransmission + aggregator Result replay).  Every run must complete
     with exact sums; higher loss costs retransmission round trips."""
-    rows: List[LossRow] = []
-    for loss_rate in loss_rates:
-        env = Environment()
-        config = TrioMLJobConfig(
-            grads_per_packet=grads_per_packet,
-            window=8,
-            loss_recovery=True,
-            retransmit_timeout_s=0.002,
-        )
-        testbed = build_single_pfe_testbed(
-            env, config, num_workers=4, link_loss_rate=loss_rate
-        )
-        vector = [1] * (grads_per_packet * blocks)
-        procs = testbed.run_allreduce([vector] * 4)
-        env.run(until=env.all_of(procs))
-        for proc in procs:
-            if any(block.values != [4] * grads_per_packet
-                   for block in proc.value):
-                raise AssertionError(
-                    f"loss recovery produced a wrong sum at {loss_rate:.0%}"
-                )
-        runtime = next(iter(testbed.handle.runtimes.values()))
-        rows.append(
-            LossRow(
-                loss_rate=loss_rate,
-                completion_ms=env.now * 1e3,
-                frames_lost=sum(l.frames_lost
-                                for l in testbed.topology.links),
-                retransmissions=sum(w.retransmissions
-                                    for w in testbed.workers),
-                results_replayed=runtime.results_replayed,
-            )
-        )
-    return rows
+    points = [
+        (loss_rate, blocks, grads_per_packet) for loss_rate in loss_rates
+    ]
+    return _map_points(_loss_point, points, parallel)
 
 
 # ---------------------------------------------------------------------------
@@ -474,6 +532,7 @@ def generation_scaling(
     blocks: int = 128,
     grads_per_packet: int = 512,
     window: int = 64,
+    parallel: Optional[int] = None,
 ) -> List[GenerationRow]:
     """Supplementary experiment: the same Trio-ML aggregation job on every
     chipset generation (§2: 16 PPEs/2 RMW engines in 2009 through 160
@@ -482,31 +541,35 @@ def generation_scaling(
     increased the number of read-modify-write engines in each generation
     ... so that the memory bandwidth increases with the packet processing
     bandwidth", §2.3)."""
-    rows: List[GenerationRow] = []
-    for gen in generations:
-        chipset = GENERATIONS[gen]
-        env = Environment()
-        config = TrioMLJobConfig(grads_per_packet=grads_per_packet,
-                                 window=window)
-        testbed = build_single_pfe_testbed(
-            env, config, num_workers=4, chipset=chipset
-        )
-        vector = [1] * (grads_per_packet * blocks)
-        procs = testbed.run_allreduce([vector] * 4)
-        env.run(until=env.all_of(procs))
-        aggregator = testbed.handle.aggregator
-        total_bits = aggregator.gradients_aggregated * 32
-        rows.append(
-            GenerationRow(
-                generation=gen,
-                year=chipset.year,
-                num_ppes=chipset.num_ppes,
-                rmw_engines=chipset.num_rmw_engines,
-                completion_ms=env.now * 1e3,
-                throughput_gbps=total_bits / env.now / 1e9,
-            )
-        )
-    return rows
+    points = [
+        (gen, blocks, grads_per_packet, window) for gen in generations
+    ]
+    return _map_points(_generation_point, points, parallel)
+
+
+def _generation_point(args: Tuple[int, int, int, int]) -> GenerationRow:
+    """One chipset-generation point of the generation-scaling sweep."""
+    gen, blocks, grads_per_packet, window = args
+    chipset = GENERATIONS[gen]
+    env = Environment()
+    config = TrioMLJobConfig(grads_per_packet=grads_per_packet,
+                             window=window)
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=4, chipset=chipset
+    )
+    vector = [1] * (grads_per_packet * blocks)
+    procs = testbed.run_allreduce([vector] * 4)
+    env.run(until=env.all_of(procs))
+    aggregator = testbed.handle.aggregator
+    total_bits = aggregator.gradients_aggregated * 32
+    return GenerationRow(
+        generation=gen,
+        year=chipset.year,
+        num_ppes=chipset.num_ppes,
+        rmw_engines=chipset.num_rmw_engines,
+        completion_ms=env.now * 1e3,
+        throughput_gbps=total_bits / env.now / 1e9,
+    )
 
 
 def ablation_rmw_offload(num_threads: int = 64,

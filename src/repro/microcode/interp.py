@@ -82,6 +82,12 @@ class MicrocodeExecutor:
 
     def run(self, tctx, pctx):
         """Process one packet: generator, ``yield from executor.run(...)``."""
+        yield from self._run(tctx, pctx)
+        # Deferred (coalesced) execute charges become one kernel event, so
+        # running a program standalone still advances simulated time.
+        yield from tctx.flush()
+
+    def _run(self, tctx, pctx):
         state = _ThreadState(self, tctx, pctx)
         label = self.program.entry
         executed = 0
@@ -300,7 +306,9 @@ class _ThreadState:
         if field_name == "pkt_len":
             return self.pctx.length if self.pctx is not None else 0
         if field_name == "time_ns":
-            return int(self.tctx.env.now * 1e9)
+            # Thread-local clock: includes coalesced execute charges, so
+            # programs observe the same timestamps as eager charging.
+            return int(self.tctx.now * 1e9)
         raise MicrocodeRuntimeError(
             f"line {line}: unknown builtin r_work.{field_name}"
         )

@@ -29,9 +29,9 @@ def read_bits(buf: Sequence[int], bit_offset: int, width: int) -> int:
             f"bit range [{bit_offset}, {end_bit}) outside buffer of "
             f"{len(buf)} bytes"
         )
-    first_byte = bit_offset // 8
-    last_byte = (end_bit - 1) // 8
-    window = int.from_bytes(bytes(buf[first_byte:last_byte + 1]), "big")
+    first_byte = bit_offset >> 3
+    last_byte = (end_bit - 1) >> 3
+    window = int.from_bytes(buf[first_byte:last_byte + 1], "big")
     window_bits = (last_byte - first_byte + 1) * 8
     shift = window_bits - (bit_offset - first_byte * 8) - width
     return (window >> shift) & ((1 << width) - 1)
@@ -48,9 +48,9 @@ def write_bits(buf: bytearray, bit_offset: int, width: int, value: int) -> None:
             f"{len(buf)} bytes"
         )
     value &= (1 << width) - 1
-    first_byte = bit_offset // 8
-    last_byte = (end_bit - 1) // 8
-    window = int.from_bytes(bytes(buf[first_byte:last_byte + 1]), "big")
+    first_byte = bit_offset >> 3
+    last_byte = (end_bit - 1) >> 3
+    window = int.from_bytes(buf[first_byte:last_byte + 1], "big")
     window_bits = (last_byte - first_byte + 1) * 8
     shift = window_bits - (bit_offset - first_byte * 8) - width
     mask = ((1 << width) - 1) << shift
@@ -98,6 +98,13 @@ class StructLayout:
                 "byte-aligned (add padding fields)"
             )
         self.total_bits = offset
+        #: Precompiled (shift, mask) per field against one big-endian
+        #: integer holding the whole struct — lets pack/unpack run as a
+        #: single int conversion instead of per-field window arithmetic.
+        self._extract: Dict[str, Tuple[int, int]] = {
+            f.name: (offset - f.bit_offset - f.width, (1 << f.width) - 1)
+            for f in self.fields.values()
+        }
 
     @property
     def size_bytes(self) -> int:
@@ -126,15 +133,33 @@ class StructLayout:
 
     def pack(self, **values: int) -> bytes:
         """Build an instance from field values (padding stays zero)."""
-        buf = bytearray(self.size_bytes)
+        extract = self._extract
+        window = 0
         for name, value in values.items():
-            self.write(buf, 0, name, value)
-        return bytes(buf)
+            try:
+                shift, mask = extract[name]
+            except KeyError:
+                self.field(name)  # raises the descriptive KeyError
+                raise
+            window |= (value & mask) << shift
+        return window.to_bytes(self.total_bits // 8, "big")
 
     def unpack(self, data: Sequence[int], base_byte: int = 0) -> Dict[str, int]:
         """Read every named field of an instance at ``base_byte``."""
+        size = self.total_bits // 8
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            chunk = data[base_byte:base_byte + size]
+        else:
+            chunk = bytes(data[base_byte:base_byte + size])
+        if len(chunk) != size:
+            raise ValueError(
+                f"struct {self.name}: need {size} bytes at offset "
+                f"{base_byte}, buffer has {len(chunk)}"
+            )
+        window = int.from_bytes(chunk, "big")
         return {
-            name: self.read(data, base_byte, name) for name in self.fields
+            name: (window >> shift) & mask
+            for name, (shift, mask) in self._extract.items()
         }
 
     def __repr__(self) -> str:

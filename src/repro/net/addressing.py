@@ -69,7 +69,10 @@ class MACAddress:
     def from_bytes(cls, data: bytes) -> "MACAddress":
         if len(data) != 6:
             raise ValueError(f"MAC address needs 6 bytes, got {len(data)}")
-        return cls(int.from_bytes(data, "big"))
+        # 6 wire bytes are always in range: skip __init__'s type dispatch.
+        addr = object.__new__(cls)
+        addr._value = int.from_bytes(data, "big")
+        return addr
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, MACAddress):
@@ -135,7 +138,10 @@ class IPv4Address:
     def from_bytes(cls, data: bytes) -> "IPv4Address":
         if len(data) != 4:
             raise ValueError(f"IPv4 address needs 4 bytes, got {len(data)}")
-        return cls(int.from_bytes(data, "big"))
+        # 4 wire bytes are always in range: skip __init__'s type dispatch.
+        addr = object.__new__(cls)
+        addr._value = int.from_bytes(data, "big")
+        return addr
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, IPv4Address):

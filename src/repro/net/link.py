@@ -120,24 +120,16 @@ class Link:
 
     def transmit(self, src: Port, packet: Packet) -> None:
         """Queue ``packet`` for serialisation out of ``src``."""
-        self._queues[src].put(packet)
+        self._queues[src].put_nowait(packet)
 
     def _serialise(self, src: Port, dst: Port):
         queue = self._queues[src]
         while True:
             packet = yield queue.get()
-            yield self.env.timeout(packet.bits / self.bandwidth_bps)
+            yield self.env.delay(packet.bits / self.bandwidth_bps)
             if self.loss_rate and self._loss_rng.random() < self.loss_rate:
                 self.frames_lost += 1
                 continue
-            # Propagation happens in parallel with the next serialisation.
-            self.env.process(
-                self._propagate(dst, packet), name=f"prop:{src.name}"
-            )
-
-    def _propagate(self, dst: Port, packet: Packet):
-        if self.propagation_delay_s:
-            yield self.env.timeout(self.propagation_delay_s)
-        else:
-            yield self.env.timeout(0)
-        dst.deliver(packet)
+            # Propagation happens in parallel with the next serialisation:
+            # one scheduled delivery event, no per-frame process.
+            self.env.call_later(self.propagation_delay_s, dst.deliver, packet)

@@ -69,6 +69,19 @@ class NIC:
         """
         return self._tx_ring.put(packet)
 
+    def try_send(self, packet: Packet):
+        """Enqueue ``packet``, blocking only when the ring is full.
+
+        Returns None when the ring accepted the frame synchronously;
+        otherwise returns the pending ack event, which the caller must
+        ``yield`` (back-pressure, same semantics as :meth:`send`).
+        """
+        ring = self._tx_ring
+        if ring.capacity is None or len(ring) < ring.capacity:
+            ring.put_nowait(packet)
+            return None
+        return ring.put(packet)
+
     def send_nowait(self, packet: Packet) -> bool:
         """Best-effort enqueue; returns False (dropping) if the ring is full."""
         if (
@@ -76,14 +89,14 @@ class NIC:
             and len(self._tx_ring) >= self._tx_ring.capacity
         ):
             return False
-        self._tx_ring.put(packet)
+        self._tx_ring.put_nowait(packet)
         return True
 
     def _tx_loop(self):
         while True:
             packet = yield self._tx_ring.get()
             if self.tx_overhead_s:
-                yield self.env.timeout(self.tx_overhead_s)
+                yield self.env.delay(self.tx_overhead_s)
             self.port.send(packet)
 
     def _on_rx(self, packet: Packet, port: Port) -> Any:

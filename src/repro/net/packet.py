@@ -24,6 +24,12 @@ __all__ = ["Packet"]
 
 _packet_ids = itertools.count()
 
+#: Packed Ethernet/IPv4/UDP header stacks keyed by the full field tuple.
+#: Identical constructor arguments always pack to identical wire bytes
+#: (identification is fixed at 0, the checksum is deterministic), so the
+#: hot senders that emit many same-shape frames skip re-packing.
+_header_cache: Dict[Tuple, bytes] = {}
+
 
 class Packet:
     """An Ethernet frame plus simulation metadata.
@@ -38,7 +44,7 @@ class Packet:
             time, ingress port, etc.).
     """
 
-    __slots__ = ("data", "packet_id", "flow_key", "meta")
+    __slots__ = ("data", "packet_id", "flow_key", "meta", "_udp")
 
     def __init__(self, data: bytes, flow_key: Any = None,
                  meta: Optional[Dict[str, Any]] = None):
@@ -46,6 +52,8 @@ class Packet:
         self.packet_id = next(_packet_ids)
         self.flow_key = flow_key
         self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self._udp: Optional[Tuple[EthernetHeader, IPv4Header, UDPHeader,
+                                  bytes]] = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -57,7 +65,9 @@ class Packet:
 
     def copy(self) -> "Packet":
         """A fresh packet (new id) with the same bytes and flow key."""
-        return Packet(self.data, flow_key=self.flow_key, meta=dict(self.meta))
+        clone = Packet(self.data, flow_key=self.flow_key, meta=dict(self.meta))
+        clone._udp = self._udp
+        return clone
 
     def split(self, head_size: int) -> Tuple[bytes, bytes]:
         """Split wire bytes into (head, tail) as Trio's PFE hardware does.
@@ -86,19 +96,29 @@ class Packet:
         ttl: int = 64,
     ) -> "Packet":
         """Build a complete Ethernet/IPv4/UDP frame around ``payload``."""
-        udp = UDPHeader(
-            src_port=src_port, dst_port=dst_port, length=UDPHeader.LENGTH + len(payload)
-        )
-        ip = IPv4Header(
-            src=src_ip,
-            dst=dst_ip,
-            total_length=IPv4Header.MIN_LENGTH + udp.length,
-            ttl=ttl,
-        )
-        ether = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4)
-        data = ether.pack() + ip.pack() + udp.pack() + payload
-        flow_key = (int(src_ip), int(dst_ip), src_port, dst_port)
-        return cls(data, flow_key=flow_key)
+        key = (int(src_mac), int(dst_mac), int(src_ip), int(dst_ip),
+               src_port, dst_port, len(payload), ttl)
+        headers = _header_cache.get(key)
+        if headers is None:
+            udp = UDPHeader(
+                src_port=src_port, dst_port=dst_port,
+                length=UDPHeader.LENGTH + len(payload),
+            )
+            ip = IPv4Header(
+                src=src_ip,
+                dst=dst_ip,
+                total_length=IPv4Header.MIN_LENGTH + udp.length,
+                ttl=ttl,
+            )
+            ether = EthernetHeader(
+                dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4
+            )
+            headers = ether.pack() + ip.pack() + udp.pack()
+            if len(_header_cache) > 4096:
+                _header_cache.clear()
+            _header_cache[key] = headers
+        flow_key = (key[2], key[3], src_port, dst_port)
+        return cls(headers + payload, flow_key=flow_key)
 
     def parse_ethernet(self) -> Tuple[EthernetHeader, bytes]:
         """Parse the Ethernet header; returns (header, rest)."""
@@ -109,7 +129,13 @@ class Packet:
 
         Raises :class:`~repro.net.headers.HeaderError` if any layer is not
         what it claims to be.
+
+        The wire bytes are immutable, so the parsed stack is cached: every
+        model that inspects the same frame reuses one parse.
         """
+        cached = self._udp
+        if cached is not None:
+            return cached
         ether, rest = EthernetHeader.parse(self.data)
         if ether.ethertype != ETHERTYPE_IPV4:
             raise HeaderError(
@@ -118,7 +144,8 @@ class Packet:
         ip, rest = IPv4Header.parse(rest)
         udp, rest = UDPHeader.parse(rest)
         payload = rest[: udp.length - UDPHeader.LENGTH]
-        return ether, ip, udp, payload
+        self._udp = result = (ether, ip, udp, payload)
+        return result
 
     def __repr__(self) -> str:
         return f"<Packet id={self.packet_id} len={len(self.data)}>"

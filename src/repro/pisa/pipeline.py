@@ -266,20 +266,20 @@ class PisaPipeline:
 
     def submit(self, packet: Packet) -> None:
         """Offer a packet to the pipeline (from a port or recirculation)."""
-        self._intake.put((packet, 0))
+        self._intake.put_nowait((packet, 0))
 
     def _pipeline_loop(self):
         while True:
             packet, pass_index = yield self._intake.get()
             # Line-rate admission: one packet per 1/pps.
-            yield self.env.timeout(1.0 / self.packet_rate_pps)
+            yield self.env.delay(1.0 / self.packet_rate_pps)
             self.env.process(
                 self._run_pass(packet, pass_index),
                 name=f"pisa:{self.name}:pass",
             )
 
     def _run_pass(self, packet: Packet, pass_index: int):
-        yield self.env.timeout(self.pass_latency_s)
+        yield self.env.delay(self.pass_latency_s)
         self.passes += 1
         if self.program is None:
             self.drops += 1
@@ -291,6 +291,6 @@ class PisaPipeline:
                 self._emit_handler(out_packet, egress)
         if result.recirculate:
             self.recirculations += 1
-            self._intake.put((packet, pass_index + 1))
+            self._intake.put_nowait((packet, pass_index + 1))
         elif result.dropped:
             self.drops += 1

@@ -12,12 +12,34 @@ Events carry a *value* (delivered as the result of the ``yield``) and may
 also *fail* with an exception, which is re-raised inside the waiting
 process.  Processes are themselves events that fire when the generator
 returns, so processes can wait on each other directly.
+
+Fast path
+---------
+
+Every simulated packet burns through thousands of pure-delay waits
+(``yield env.timeout(d)``), so the kernel provides an allocation-free hot
+loop for that dominant case:
+
+* All event classes use ``__slots__``.
+* :meth:`Environment.delay` hands out pooled :class:`_Delay` timeouts from
+  a free list; the event loop recycles them (object *and* callback list)
+  as soon as their callbacks have run.  A ``delay()`` event is therefore
+  only valid for the single ``yield`` that consumes it — model code must
+  not retain it, compose it into ``AnyOf``/``AllOf``, or pass it to
+  ``run(until=...)``.  :meth:`Environment.timeout` keeps the fully general
+  (allocating) semantics.
+* :class:`Process` reuses one internal *bounce* event for start-up and for
+  resuming after a yield on an already-processed event, instead of
+  allocating a fresh event each time.
+* :meth:`Environment.run` inlines the step loop with local bindings.
+
+The fast path is timing-equivalent to the general path: same timestamps,
+same tie-breaking (schedule order), same failure semantics.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -57,11 +79,17 @@ class Event:
     time.  Processes wait on events by yielding them.
     """
 
+    # ``item`` is used by the Store primitives to carry the pending payload
+    # of a blocked put(); it lives here because __slots__ forbids ad-hoc
+    # attributes on subclass instances.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "item")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -89,11 +117,14 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): succeed() is the hottest trigger path.
+        env = self.env
+        env._scheduled = seq = env._scheduled + 1
+        heappush(env._queue, (env._now, 1, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -101,7 +132,7 @@ class Event:
 
         The exception is re-raised in every process waiting on the event.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
@@ -112,13 +143,15 @@ class Event:
 
     def __repr__(self) -> str:
         state = "pending"
-        if self.triggered:
+        if self._value is not _PENDING:
             state = "ok" if self._ok else "failed"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units in the future."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -130,11 +163,53 @@ class Timeout(Event):
         env.schedule(self, delay=delay)
 
 
+class _Delay(Timeout):
+    """Pooled pure-delay timeout handed out by :meth:`Environment.delay`.
+
+    Expects exactly one short-lived waiter; the event loop recycles the
+    instance (and its callback list) right after its callbacks run.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        # Bypass Timeout.__init__: fields are (re)initialised by
+        # Environment.delay() on every checkout from the pool.
+        Event.__init__(self, env)
+        self.delay = 0.0
+        self._ok = True
+
+
+def _run_callback(event: "_Callback") -> None:
+    event.fn(*event.args)
+
+
+class _Callback(Event):
+    """Pre-triggered event that invokes ``fn(*args)`` when processed.
+
+    Backs :meth:`Environment.call_later` — a fire-and-forget deferred call
+    without the Process/generator/bounce machinery.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, env: "Environment", fn: Callable[..., Any],
+                 args: Tuple[Any, ...]):
+        Event.__init__(self, env)
+        self._ok = True
+        self._value = None
+        self.fn = fn
+        self.args = args
+        self.callbacks = [_run_callback]
+
+
 class AnyOf(Event):
     """Fires when the first of several events fires.
 
     The value is a dict mapping each fired event to its value.
     """
+
+    __slots__ = ("events", "_fired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -144,7 +219,7 @@ class AnyOf(Event):
             self.succeed(self._fired)
             return
         for event in self.events:
-            if event.processed:
+            if event.callbacks is None:
                 self._on_fire(event)
             else:
                 event.callbacks.append(self._on_fire)
@@ -152,10 +227,10 @@ class AnyOf(Event):
     def _on_fire(self, event: Event) -> None:
         if self.triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
-        self._fired[event] = event.value
+        self._fired[event] = event._value
         self.succeed(self._fired)
 
 
@@ -164,6 +239,8 @@ class AllOf(Event):
 
     The value is a dict mapping each event to its value.
     """
+
+    __slots__ = ("events", "_fired", "_remaining")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -174,7 +251,7 @@ class AllOf(Event):
             self.succeed(self._fired)
             return
         for event in self.events:
-            if event.processed:
+            if event.callbacks is None:
                 self._on_fire(event)
             else:
                 event.callbacks.append(self._on_fire)
@@ -182,10 +259,10 @@ class AllOf(Event):
     def _on_fire(self, event: Event) -> None:
         if self.triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
-        self._fired[event] = event.value
+        self._fired[event] = event._value
         self._remaining -= 1
         if self._remaining == 0:
             self.succeed(self._fired)
@@ -202,6 +279,8 @@ class Process(Event):
     completion.
     """
 
+    __slots__ = ("name", "_generator", "_waiting_on", "_bounce")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None):
         super().__init__(env)
@@ -213,17 +292,38 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._bounce: Optional[Event] = None
         # Kick off execution at the current simulation time.
-        start = Event(env)
-        start._ok = True
-        start._value = None
-        start.callbacks.append(self._resume)
-        env.schedule(start)
+        self._schedule_resume(True, None)
 
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
         return not self.triggered
+
+    def _schedule_resume(self, ok: bool, value: Any,
+                         defused: bool = False) -> None:
+        """Schedule a resume of the generator at the current time.
+
+        Reuses the per-process bounce event when its previous trip through
+        the queue has fully completed (callbacks is None); otherwise (first
+        use, or the bounce is still in flight after an interrupt detached
+        it) a fresh event is allocated.
+        """
+        bounce = self._bounce
+        if bounce is None or bounce.callbacks is not None:
+            bounce = Event(self.env)
+            self._bounce = bounce
+        bounce._ok = ok
+        bounce._value = value
+        bounce._defused = defused
+        bounce.callbacks = [self._resume]
+        # Track it as the waited-on event so interrupt() can detach the
+        # pending resume instead of delivering a stale second wake-up.
+        self._waiting_on = bounce
+        env = self.env
+        env._scheduled = seq = env._scheduled + 1
+        heappush(env._queue, (env._now, 1, seq, bounce))
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -249,7 +349,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
@@ -257,41 +358,44 @@ class Process(Event):
                 event._defused = True
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
+        if isinstance(next_event, Event) and next_event.env is env:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                self._waiting_on = next_event
+                callbacks.append(self._resume)
+            else:
+                # Already fired and processed: resume on the next tick so
+                # same-time ordering matches a freshly scheduled event.
+                self._schedule_resume(
+                    next_event._ok, next_event._value,
+                    defused=not next_event._ok,
+                )
+            return
+
+        self._generator.close()
         if not isinstance(next_event, Event):
-            self._generator.close()
             self.fail(
                 SimulationError(
                     f"process {self.name!r} yielded {next_event!r}, "
                     "which is not an Event"
                 )
             )
-            return
-        if next_event.env is not self.env:
-            raise SimulationError(
-                f"process {self.name!r} yielded an event from a different "
-                "Environment"
-            )
-        if next_event.processed:
-            # Already fired and processed: resume immediately (next tick).
-            resume = Event(self.env)
-            resume._ok = next_event._ok
-            resume._value = next_event._value
-            if not next_event._ok:
-                resume._defused = True
-            resume.callbacks.append(self._resume)
-            self.env.schedule(resume)
         else:
-            self._waiting_on = next_event
-            next_event.callbacks.append(self._resume)
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded an event from a "
+                    "different Environment"
+                )
+            )
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else "finished"
@@ -307,8 +411,9 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
-        self._counter = itertools.count()
+        self._scheduled = 0
         self._active_process: Optional[Process] = None
+        self._delay_pool: List[_Delay] = []
 
     @property
     def now(self) -> float:
@@ -320,11 +425,15 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled so far (a determinism fingerprint)."""
+        return self._scheduled
+
     def schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         """Enqueue ``event`` to fire ``delay`` time units from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        self._scheduled = seq = self._scheduled + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
@@ -333,6 +442,42 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay``."""
         return Timeout(self, delay, value)
+
+    def delay(self, delay: float, value: Any = None) -> Timeout:
+        """Pooled pure-delay timeout for the one-waiter hot path.
+
+        Timing-equivalent to :meth:`timeout` but recycled as soon as its
+        callbacks have run, so the returned event must be consumed by a
+        single immediate ``yield`` and never retained, combined, or passed
+        to ``run(until=...)``.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        pool = self._delay_pool
+        if pool:
+            ev = pool.pop()
+            ev.delay = delay
+            ev._value = value
+        else:
+            ev = _Delay(self)
+            ev.delay = delay
+            ev._value = value
+        self._scheduled = seq = self._scheduled + 1
+        heappush(self._queue, (self._now + delay, 1, seq, ev))
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[..., Any],
+                   *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units (fire-and-forget).
+
+        A single scheduled event replaces the Process + start bounce +
+        completion event a ``def ...(): yield env.delay(d); fn()`` helper
+        would cost; use it for deferred plain calls that nobody waits on.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self._scheduled = seq = self._scheduled + 1
+        heappush(self._queue, (self._now + delay, 1, seq, _Callback(self, fn, args)))
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:
@@ -355,11 +500,20 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
+        self._now, _, _, event = heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if event.__class__ is _Delay:
+            for callback in callbacks:
+                callback(event)
+            event.callbacks = callbacks
+            callbacks.clear()
+            event._value = _PENDING
+            self._delay_pool.append(event)
+            return
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False) and not callbacks:
+        if not event._ok and not event._defused and not callbacks:
             # A failed event that nobody was waiting on: surface the error
             # rather than letting it pass silently.
             raise event._value
@@ -381,21 +535,60 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
-            if self.peek() > stop_time:
+        queue = self._queue
+        pool = self._delay_pool
+        pending = _PENDING
+        pop = heappop
+        if stop_event is None and stop_time == float("inf"):
+            # Unbounded run: the common benchmark/drain shape — no
+            # per-event stop checks.
+            while queue:
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if event.__class__ is _Delay:
+                    for callback in callbacks:
+                        callback(event)
+                    event.callbacks = callbacks
+                    callbacks.clear()
+                    event._value = pending
+                    pool.append(event)
+                    continue
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused and not callbacks:
+                    raise event._value
+            return None
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            entry = queue[0]
+            if entry[0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            self._now, _, _, event = pop(queue)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if event.__class__ is _Delay:
+                for callback in callbacks:
+                    callback(event)
+                event.callbacks = callbacks
+                callbacks.clear()
+                event._value = pending
+                pool.append(event)
+                continue
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused and not callbacks:
+                raise event._value
 
         if stop_event is not None:
-            if stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
+            if stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
             raise SimulationError(
                 "run(until=event) exhausted the queue before the event fired"
             )

@@ -125,7 +125,7 @@ class SwitchMLWorker(Host):
         """
         timeout = self.retransmit_timeout_s
         while not done["flag"]:
-            yield self.env.timeout(timeout)
+            yield self.env.delay(timeout)
             now = self.env.now
             for chunk_id, sent_at in list(send_times.items()):
                 if results[chunk_id] is None and now - sent_at >= timeout:
@@ -137,7 +137,7 @@ class SwitchMLWorker(Host):
         if self.straggle_hook is not None:
             delay = self.straggle_hook(chunk_id)
             if delay and delay > 0:
-                yield self.env.timeout(delay)
+                yield self.env.delay(delay)
         header = SwitchMLHeader(
             pool_index=chunk_id % self.job.pool_size,
             worker_id=self.worker_id,

@@ -99,7 +99,7 @@ class Policer:
         # The engine executes the whole token update atomically; we model
         # the service time with a masked-write-sized op and compute the
         # bucket arithmetic at the engine.
-        yield self.env.timeout(self.memory.access_latency_s(self.addr, 16))
+        yield self.env.delay(self.memory.access_latency_s(self.addr, 16))
         yield from self.memory.rmw.execute(
             RMWOpKind.READ, self.addr, 16
         )

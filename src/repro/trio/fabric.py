@@ -54,14 +54,13 @@ class Fabric:
             )
         self.packets += 1
         self.bytes += len(packet)
-        channel.put(packet)
+        channel.put_nowait(packet)
 
     def _channel_loop(self, channel: Store, dst: str):
+        sinks = self._sinks
         while True:
             packet = yield channel.get()
-            yield self.env.timeout(packet.bits / self.bandwidth_bps)
-            self.env.process(self._deliver(dst, packet), name=f"fabric:deliver")
-
-    def _deliver(self, dst: str, packet: Packet):
-        yield self.env.timeout(self.latency_s)
-        self._sinks[dst](packet)
+            yield self.env.delay(packet.bits / self.bandwidth_bps)
+            # Fabric latency elapses in parallel with the next frame's
+            # serialisation: one scheduled delivery, no per-frame process.
+            self.env.call_later(self.latency_s, sinks[dst], packet)

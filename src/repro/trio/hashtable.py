@@ -57,9 +57,11 @@ class HardwareHashTable:
         self.num_buckets = num_buckets
         self.op_latency_s = op_latency_s
         self.scan_entry_latency_s = scan_entry_latency_s
-        self._buckets: List[Dict[Hashable, HashRecord]] = [
-            {} for __ in range(num_buckets)
-        ]
+        # Buckets allocate lazily: a fresh table is one flat None-list, not
+        # ``num_buckets`` empty dicts (constructed once per simulated PFE).
+        self._buckets: List[Optional[Dict[Hashable, HashRecord]]] = (
+            [None] * num_buckets
+        )
         self._count = 0
         self.lookups = 0
         self.inserts = 0
@@ -69,28 +71,36 @@ class HardwareHashTable:
         return self._count
 
     def _bucket_of(self, key: Hashable) -> Dict[Hashable, HashRecord]:
-        return self._buckets[hash(key) % self.num_buckets]
+        idx = hash(key) % self.num_buckets
+        bucket = self._buckets[idx]
+        if bucket is None:
+            bucket = self._buckets[idx] = {}
+        return bucket
 
     # ------------------------------------------------------------------
     # Latency-charged operations (generators)
     # ------------------------------------------------------------------
 
-    def lookup(self, key: Hashable):
-        """Hash lookup XTXN; returns the record (REF set) or None."""
-        yield self.env.timeout(self.op_latency_s)
+    def lookup(self, key: Hashable, pre_delay_s: float = 0.0):
+        """Hash lookup XTXN; returns the record (REF set) or None.
+
+        ``pre_delay_s`` folds a caller-side deferred charge into the
+        operation's single kernel event (see ThreadContext.execute).
+        """
+        yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.lookups += 1
         record = self._bucket_of(key).get(key)
         if record is not None:
             record.ref_flag = True
         return record
 
-    def insert(self, key: Hashable, value: Any):
+    def insert(self, key: Hashable, value: Any, pre_delay_s: float = 0.0):
         """Hash insert XTXN; returns the new record (REF set).
 
         Inserting an existing key replaces its value, matching
         insert-or-update hash hardware semantics.
         """
-        yield self.env.timeout(self.op_latency_s)
+        yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.inserts += 1
         bucket = self._bucket_of(key)
         existing = bucket.get(key)
@@ -103,14 +113,15 @@ class HardwareHashTable:
         self._count += 1
         return record
 
-    def insert_if_absent(self, key: Hashable, value: Any):
+    def insert_if_absent(self, key: Hashable, value: Any,
+                         pre_delay_s: float = 0.0):
         """Atomic insert-or-get XTXN; returns (record, created).
 
         The hash hardware serialises operations on one key, so two threads
         racing to create the same record see a single winner; the loser
         gets the winner's record back.
         """
-        yield self.env.timeout(self.op_latency_s)
+        yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.inserts += 1
         bucket = self._bucket_of(key)
         existing = bucket.get(key)
@@ -122,9 +133,9 @@ class HardwareHashTable:
         self._count += 1
         return record, True
 
-    def delete(self, key: Hashable):
+    def delete(self, key: Hashable, pre_delay_s: float = 0.0):
         """Hash delete XTXN; returns True if the key existed."""
-        yield self.env.timeout(self.op_latency_s)
+        yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.deletes += 1
         bucket = self._bucket_of(key)
         if key in bucket:
@@ -142,7 +153,7 @@ class HardwareHashTable:
         """
         records = self.segment_records(segment, num_segments)
         cost = max(1, len(records)) * self.scan_entry_latency_s
-        yield self.env.timeout(cost)
+        yield self.env.delay(cost)
         return records
 
     # ------------------------------------------------------------------
@@ -166,7 +177,8 @@ class HardwareHashTable:
         start, end = self.segment_bounds(segment, num_segments)
         records: List[HashRecord] = []
         for bucket in self._buckets[start:end]:
-            records.extend(bucket.values())
+            if bucket:
+                records.extend(bucket.values())
         return records
 
     def insert_nowait(self, key: Hashable, value: Any) -> HashRecord:
@@ -198,4 +210,5 @@ class HardwareHashTable:
     def all_records(self) -> Iterator[HashRecord]:
         """Iterate every record (zero time)."""
         for bucket in self._buckets:
-            yield from bucket.values()
+            if bucket:
+                yield from bucket.values()

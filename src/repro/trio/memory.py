@@ -69,6 +69,15 @@ class MemoryRegion:
 
     def read_raw(self, addr: int, size: int) -> bytes:
         self._check_range(addr, size)
+        page_idx, offset = divmod(addr, _PAGE_SIZE)
+        end = offset + size
+        if end <= _PAGE_SIZE:
+            # Fast path: the access lives in a single page (every 8-64 B
+            # XTXN does, given 64 B alignment of allocations).
+            page = self._pages.get(page_idx)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset:end])
         out = bytearray(size)
         pos = 0
         while pos < size:
@@ -81,9 +90,18 @@ class MemoryRegion:
         return bytes(out)
 
     def write_raw(self, addr: int, data: bytes) -> None:
-        self._check_range(addr, len(data))
-        pos = 0
         size = len(data)
+        self._check_range(addr, size)
+        page_idx, offset = divmod(addr, _PAGE_SIZE)
+        end = offset + size
+        if end <= _PAGE_SIZE:
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = bytearray(_PAGE_SIZE)
+                self._pages[page_idx] = page
+            page[offset:end] = data
+            return
+        pos = 0
         while pos < size:
             page_idx, offset = divmod(addr + pos, _PAGE_SIZE)
             take = min(_PAGE_SIZE - offset, size - pos)
@@ -94,10 +112,41 @@ class MemoryRegion:
             page[offset:offset + take] = data[pos:pos + take]
             pos += take
 
+    def read_int(self, addr: int, size: int) -> int:
+        """Little-endian unsigned read without a bytes round trip.
+
+        Fast path for the 8-byte-and-under aligned accesses the RMW
+        engines issue on every fetch-and-op; falls back to
+        :meth:`read_raw` for page-straddling accesses.
+        """
+        self._check_range(addr, size)
+        page_idx, offset = divmod(addr, _PAGE_SIZE)
+        end = offset + size
+        if end <= _PAGE_SIZE:
+            page = self._pages.get(page_idx)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:end], "little")
+        return int.from_bytes(self.read_raw(addr, size), "little")
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        """Little-endian unsigned write without a bytes round trip."""
+        self._check_range(addr, size)
+        page_idx, offset = divmod(addr, _PAGE_SIZE)
+        end = offset + size
+        if end <= _PAGE_SIZE:
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = bytearray(_PAGE_SIZE)
+                self._pages[page_idx] = page
+            page[offset:end] = value.to_bytes(size, "little")
+            return
+        self.write_raw(addr, value.to_bytes(size, "little"))
+
     def _check_range(self, addr: int, size: int) -> None:
         if size < 0:
             raise MemoryError_(f"negative access size: {size}")
-        if not (self.contains(addr) and addr + size <= self.end):
+        if addr < self.base or addr + size > self.base + self.size:
             raise MemoryError_(
                 f"access [{addr:#x}, {addr + size:#x}) outside region "
                 f"{self.name} [{self.base:#x}, {self.end:#x})"
@@ -148,19 +197,31 @@ class _DramCache:
 
     def access(self, addr: int, size: int) -> bool:
         """Touch the lines covering [addr, addr+size); True if all hit."""
+        lines = self._lines
         first = addr // _LINE_SIZE
         last = (addr + max(size, 1) - 1) // _LINE_SIZE
+        if first == last:
+            # Fast path: the 8-64 B XTXNs live in one line.
+            if first in lines:
+                lines.move_to_end(first)
+                self.hits += 1
+                return True
+            self.misses += 1
+            lines[first] = None
+            if len(lines) > self.capacity_lines:
+                lines.popitem(last=False)
+            return False
         all_hit = True
         for line in range(first, last + 1):
-            if line in self._lines:
-                self._lines.move_to_end(line)
+            if line in lines:
+                lines.move_to_end(line)
                 self.hits += 1
             else:
                 all_hit = False
                 self.misses += 1
-                self._lines[line] = None
-                if len(self._lines) > self.capacity_lines:
-                    self._lines.popitem(last=False)
+                lines[line] = None
+                if len(lines) > self.capacity_lines:
+                    lines.popitem(last=False)
         return all_hit
 
 
@@ -182,6 +243,9 @@ class SharedMemorySystem:
             "dram", self.DRAM_BASE, config.dram_bytes, config.dram_latency_s
         )
         self._regions = (self.sram, self.dram)
+        #: Last region hit — repeated same-address RMW traffic (counters,
+        #: aggregation buffers) resolves without rescanning the region list.
+        self._region_cache: MemoryRegion = self.sram
         self._dram_cache = _DramCache(config.dram_cache_bytes)
         self.rmw = RMWComplex(
             env,
@@ -195,8 +259,12 @@ class SharedMemorySystem:
     # -- region plumbing -------------------------------------------------
 
     def region_of(self, addr: int) -> MemoryRegion:
+        region = self._region_cache
+        if region.base <= addr < region.end:
+            return region
         for region in self._regions:
             if region.contains(addr):
+                self._region_cache = region
                 return region
         raise MemoryError_(f"address {addr:#x} is outside the unified space")
 
@@ -207,6 +275,14 @@ class SharedMemorySystem:
     def write_raw(self, addr: int, data: bytes) -> None:
         """Zero-time raw write (used by RMW engines and tests)."""
         self.region_of(addr).write_raw(addr, data)
+
+    def read_int(self, addr: int, size: int) -> int:
+        """Zero-time little-endian read (RMW fetch-and-op fast path)."""
+        return self.region_of(addr).read_int(addr, size)
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        """Zero-time little-endian write (RMW fetch-and-op fast path)."""
+        self.region_of(addr).write_int(addr, value, size)
 
     def alloc(self, size: int, region: str = "sram", align: int = 64) -> int:
         """Allocate ``size`` bytes in the named region; returns the address."""
@@ -247,64 +323,77 @@ class SharedMemorySystem:
                 "(memory transactions are 8-64 bytes, §2.3)"
             )
 
-    def read(self, addr: int, size: int = 8):
-        """Synchronous read XTXN; returns the bytes."""
+    def read(self, addr: int, size: int = 8, pre_delay_s: float = 0.0):
+        """Synchronous read XTXN; returns the bytes.
+
+        ``pre_delay_s`` folds a caller-side deferred charge (coalesced
+        ``execute`` time) into the access wait — one kernel event instead
+        of two, identical completion timestamp.
+        """
         self._validate_xtxn_size(size)
-        yield self.env.timeout(self.access_latency_s(addr, size))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(RMWOpKind.READ, addr, size)
         return result
 
-    def write(self, addr: int, data: bytes):
+    def write(self, addr: int, data: bytes, pre_delay_s: float = 0.0):
         """Synchronous write XTXN."""
         self._validate_xtxn_size(len(data))
-        yield self.env.timeout(self.access_latency_s(addr, len(data)))
+        yield self.env.delay(
+            pre_delay_s + self.access_latency_s(addr, len(data))
+        )
         yield from self.rmw.execute(RMWOpKind.WRITE, addr, len(data), data=data)
 
-    def add32(self, addr: int, operand: int):
+    def add32(self, addr: int, operand: int, pre_delay_s: float = 0.0):
         """32-bit add RMW; returns the old value."""
-        yield self.env.timeout(self.access_latency_s(addr, 4))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, 4))
         result = yield from self.rmw.execute(RMWOpKind.ADD32, addr, 4,
                                              operand=operand)
         return result
 
     def fetch_and_op(self, kind: RMWOpKind, addr: int, operand: int,
-                     size: int = 8):
+                     size: int = 8, pre_delay_s: float = 0.0):
         """Logical fetch-and-op (AND/OR/XOR/CLEAR/SWAP); returns old value."""
         self._validate_xtxn_size(size)
-        yield self.env.timeout(self.access_latency_s(addr, size))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(kind, addr, size, operand=operand)
         return result
 
-    def masked_write(self, addr: int, operand: int, mask: int, size: int = 8):
+    def masked_write(self, addr: int, operand: int, mask: int, size: int = 8,
+                     pre_delay_s: float = 0.0):
         """Masked write RMW; returns the old value."""
         self._validate_xtxn_size(size)
-        yield self.env.timeout(self.access_latency_s(addr, size))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(
             RMWOpKind.MASKED_WRITE, addr, size, operand=operand, mask=mask
         )
         return result
 
-    def counter_inc(self, addr: int, nbytes: int):
+    def counter_inc(self, addr: int, nbytes: int, pre_delay_s: float = 0.0):
         """Packet/Byte Counter increment (the CounterIncPhys XTXN, §3.2)."""
-        yield self.env.timeout(self.access_latency_s(addr, 16))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, 16))
         yield from self.rmw.execute(RMWOpKind.COUNTER_INC, addr, 16,
                                     operand=nbytes)
 
     # -- bulk paths used by aggregation ----------------------------------
 
-    def bulk_add32(self, addr: int, values: Sequence[int]):
+    def bulk_add32(self, addr: int, values: Sequence[int],
+                   pre_delay_s: float = 0.0):
         """Aggregate a vector of int32 values into memory (fluid model)."""
-        yield self.env.timeout(self.access_latency_s(addr, 4 * len(values)))
+        yield self.env.delay(
+            pre_delay_s + self.access_latency_s(addr, 4 * len(values))
+        )
         yield from self.rmw.bulk_add32(addr, values)
 
-    def bulk_read(self, addr: int, size: int):
+    def bulk_read(self, addr: int, size: int, pre_delay_s: float = 0.0):
         """Stream ``size`` bytes out of memory; returns the bytes."""
-        yield self.env.timeout(self.access_latency_s(addr, size))
+        yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         yield from self.rmw.bulk_transfer(size)
         return self.read_raw(addr, size)
 
-    def bulk_write(self, addr: int, data: bytes):
+    def bulk_write(self, addr: int, data: bytes, pre_delay_s: float = 0.0):
         """Stream ``data`` into memory."""
-        yield self.env.timeout(self.access_latency_s(addr, len(data)))
+        yield self.env.delay(
+            pre_delay_s + self.access_latency_s(addr, len(data))
+        )
         yield from self.rmw.bulk_transfer(len(data))
         self.write_raw(addr, data)

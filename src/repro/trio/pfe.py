@@ -109,6 +109,8 @@ class PFE:
         self._dispatch_queue: Store = Store(env)
         self.reorder = ReorderEngine(release=self._release_output)
         self.app: Optional[TrioApplication] = None
+        #: Free list of recycled ThreadContexts (LMEM + register file reuse).
+        self._tctx_pool: List[ThreadContext] = []
 
         #: Local unicast routes: destination IP -> port name.
         self.route_table: Dict[IPv4Address, str] = {}
@@ -161,13 +163,15 @@ class PFE:
         flow_key = packet.flow_key if packet.flow_key is not None else "_anon"
         seq = self.reorder.arrival(flow_key)
         packet.meta["pfe_arrival"] = self.env.now
-        self._dispatch_queue.put((packet, ingress_port, flow_key, seq))
+        self._dispatch_queue.put_nowait((packet, ingress_port, flow_key, seq))
 
     def _dispatch_loop(self):
         """The Dispatch module: hand heads to PPEs based on availability."""
         while True:
             packet, ingress_port, flow_key, seq = yield self._dispatch_queue.get()
-            yield self._thread_slots.request()
+            slot = self._thread_slots.acquire()
+            if slot is not None:
+                yield slot
             ppe = self.ppes[self._next_ppe]
             self._next_ppe = (self._next_ppe + 1) % len(self.ppes)
             ppe.threads_spawned += 1
@@ -175,6 +179,23 @@ class PFE:
                 self._run_thread(ppe, packet, ingress_port, flow_key, seq),
                 name=f"{self.name}:thread:{packet.packet_id}",
             )
+
+    def _checkout_tctx(self, ppe: PPE,
+                       pctx: Optional[PacketContext]) -> ThreadContext:
+        """Take a recycled ThreadContext from the pool (or build one)."""
+        pool = self._tctx_pool
+        if pool:
+            tctx = pool.pop()
+            tctx.reset(ppe, pctx)
+            return tctx
+        return ThreadContext(
+            env=self.env,
+            ppe=ppe,
+            config=self.config,
+            memory=self.memory,
+            hash_table=self.hash_table,
+            packet_ctx=pctx,
+        )
 
     def _run_thread(self, ppe: PPE, packet: Packet,
                     ingress_port: Optional[str], flow_key, seq: int):
@@ -187,20 +208,17 @@ class PFE:
             arrival_seq=seq,
             arrival_time=packet.meta.get("pfe_arrival", self.env.now),
         )
-        tctx = ThreadContext(
-            env=self.env,
-            ppe=ppe,
-            config=self.config,
-            memory=self.memory,
-            hash_table=self.hash_table,
-            packet_ctx=pctx,
-        )
-        yield self.env.timeout(DISPATCH_LATENCY_S)
+        tctx = self._checkout_tctx(ppe, pctx)
+        # The dispatch cost coalesces with the thread's first blocking wait.
+        tctx.pending_s += DISPATCH_LATENCY_S
         try:
             handler = self.app.handle_packet if self.app else self._plain_forward
             yield from handler(tctx, pctx)
+            yield from tctx.flush()
         finally:
             self._thread_slots.release()
+            tctx.packet_ctx = None
+            self._tctx_pool.append(tctx)
         outputs: List[Tuple[str, Packet, Optional[str]]] = []
         if pctx.action == ACTION_FORWARD:
             outputs.append((ACTION_FORWARD, packet, pctx.egress_port))
@@ -229,22 +247,19 @@ class PFE:
         return self.env.process(self._run_internal(callback), name=name)
 
     def _run_internal(self, callback):
-        yield self._thread_slots.request()
+        slot = self._thread_slots.acquire()
+        if slot is not None:
+            yield slot
         ppe = self.ppes[self._next_ppe]
         self._next_ppe = (self._next_ppe + 1) % len(self.ppes)
         ppe.threads_spawned += 1
-        tctx = ThreadContext(
-            env=self.env,
-            ppe=ppe,
-            config=self.config,
-            memory=self.memory,
-            hash_table=self.hash_table,
-            packet_ctx=None,
-        )
+        tctx = self._checkout_tctx(ppe, None)
         try:
             yield from callback(tctx)
+            yield from tctx.flush()
         finally:
             self._thread_slots.release()
+            self._tctx_pool.append(tctx)
 
     # ------------------------------------------------------------------
     # Egress path

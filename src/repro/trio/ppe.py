@@ -94,12 +94,25 @@ class PPE:
         return f"<PPE {self.index} threads={self.threads_spawned}>"
 
 
+#: Cached zero patterns for LMEM / register-file reuse, keyed by size.
+_ZERO_BYTES: dict = {}
+_ZERO_REGS: dict = {}
+
+
 class ThreadContext:
     """Execution context of one PPE thread.
 
     Created by the PFE when a packet (or timer/internal event) spawns a
-    thread; destroyed when processing completes.  All methods that consume
-    simulated time are generators used with ``yield from``.
+    thread; recycled into a free pool when processing completes, so the
+    1.25 KB LMEM buffer and the register file are reused across packets
+    instead of reallocated.  All methods that consume simulated time are
+    generators used with ``yield from``.
+
+    Back-to-back pure-latency charges are *coalesced*: ``execute`` only
+    accumulates its delay, and the next blocking operation (memory XTXN,
+    hash XTXN, tail read, or the final :meth:`flush`) folds the pending
+    charge into its own wait.  Completion timestamps are identical to
+    issuing one kernel event per charge; only the event count drops.
     """
 
     _ids = itertools.count()
@@ -126,8 +139,36 @@ class ThreadContext:
         #: 32 private 64-bit general-purpose registers (§2.2).
         self.registers: List[int] = [0] * config.registers_per_thread
         self.instructions = 0
+        #: Accumulated pure-delay charge not yet turned into a kernel event.
+        self.pending_s = 0.0
         if packet_ctx is not None:
             head = packet_ctx.head[: config.lmem_bytes]
+            self.lmem[: len(head)] = head
+
+    def reset(self, ppe: PPE, packet_ctx: Optional[PacketContext]) -> None:
+        """Reinitialise a pooled context for a new thread spawn.
+
+        Equivalent to constructing a fresh context (zeroed LMEM and
+        registers, new thread id) but reuses the existing buffers.
+        """
+        config = self.config
+        self.ppe = ppe
+        self.packet_ctx = packet_ctx
+        self.thread_id = next(self._ids)
+        self.instructions = 0
+        self.pending_s = 0.0
+        size = config.lmem_bytes
+        zeros = _ZERO_BYTES.get(size)
+        if zeros is None:
+            zeros = _ZERO_BYTES[size] = bytes(size)
+        self.lmem[:] = zeros
+        nregs = config.registers_per_thread
+        zregs = _ZERO_REGS.get(nregs)
+        if zregs is None:
+            zregs = _ZERO_REGS[nregs] = (0,) * nregs
+        self.registers[:] = zregs
+        if packet_ctx is not None:
+            head = packet_ctx.head[:size]
             self.lmem[: len(head)] = head
 
     # ------------------------------------------------------------------
@@ -138,6 +179,9 @@ class ThreadContext:
         """Run ``n_instructions`` datapath instructions on this thread.
 
         Charges single-thread latency: ``n × pipeline_depth / clock``.
+        The charge is deferred and folded into the thread's next blocking
+        wait (or its final flush), which is timing-equivalent because a
+        pure delay commutes with the delays around it.
         """
         if n_instructions < 0:
             raise ValueError(f"negative instruction count: {n_instructions}")
@@ -145,7 +189,29 @@ class ThreadContext:
         self.ppe.instructions_executed += n_instructions
         delay = n_instructions * self.config.single_thread_instr_s
         self.ppe.busy_s += delay
-        yield self.env.timeout(delay)
+        self.pending_s += delay
+        return
+        yield  # pragma: no cover - makes this a (zero-event) generator
+
+    def flush(self):
+        """Turn any accumulated deferred charge into one kernel event."""
+        if self.pending_s:
+            pending, self.pending_s = self.pending_s, 0.0
+            yield self.env.delay(pending)
+
+    def _take_pending(self) -> float:
+        pending, self.pending_s = self.pending_s, 0.0
+        return pending
+
+    @property
+    def now(self) -> float:
+        """Thread-local simulated time, including deferred charges.
+
+        Equals what ``env.now`` would read if every ``execute`` charge had
+        been slept eagerly; model code inside handlers must use this (not
+        ``env.now``) when timestamping.
+        """
+        return self.env.now + self.pending_s
 
     def set_register(self, index: int, value: int) -> None:
         """Write a 64-bit GPR (wraps modulo 2^64)."""
@@ -168,7 +234,9 @@ class ThreadContext:
             raise ValueError(
                 f"tail offset {offset} outside 0..{len(tail)}"
             )
-        yield self.env.timeout(self.config.tail_read_latency_s)
+        yield self.env.delay(
+            self._take_pending() + self.config.tail_read_latency_s
+        )
         chunk = tail[offset:offset + size]
         self.lmem[: len(chunk)] = chunk  # lands in LMEM scratch space
         return chunk
@@ -183,53 +251,72 @@ class ThreadContext:
         """
         if num_chunks < 0:
             raise ValueError(f"negative chunk count: {num_chunks}")
-        if num_chunks:
-            yield self.env.timeout(
-                num_chunks * self.config.tail_read_latency_s
-            )
+        total = self._take_pending() + (
+            num_chunks * self.config.tail_read_latency_s
+        )
+        if total:
+            yield self.env.delay(total)
 
     # ------------------------------------------------------------------
     # Shared Memory System XTXNs (synchronous: thread suspends, §3.1)
     # ------------------------------------------------------------------
 
     def mem_read(self, addr: int, size: int = 8):
-        result = yield from self.memory.read(addr, size)
+        result = yield from self.memory.read(
+            addr, size, pre_delay_s=self._take_pending()
+        )
         return result
 
     def mem_write(self, addr: int, data: bytes):
-        yield from self.memory.write(addr, data)
+        yield from self.memory.write(
+            addr, data, pre_delay_s=self._take_pending()
+        )
 
     def mem_add32(self, addr: int, operand: int):
-        result = yield from self.memory.add32(addr, operand)
+        result = yield from self.memory.add32(
+            addr, operand, pre_delay_s=self._take_pending()
+        )
         return result
 
     def mem_fetch_and_op(self, kind: RMWOpKind, addr: int, operand: int,
                          size: int = 8):
-        result = yield from self.memory.fetch_and_op(kind, addr, operand, size)
+        result = yield from self.memory.fetch_and_op(
+            kind, addr, operand, size, pre_delay_s=self._take_pending()
+        )
         return result
 
     def counter_inc(self, addr: int, nbytes: int):
         """The CounterIncPhys XTXN (§3.2)."""
-        yield from self.memory.counter_inc(addr, nbytes)
+        yield from self.memory.counter_inc(
+            addr, nbytes, pre_delay_s=self._take_pending()
+        )
 
     # ------------------------------------------------------------------
     # Hash block XTXNs
     # ------------------------------------------------------------------
 
     def hash_lookup(self, key):
-        record = yield from self.hash_table.lookup(key)
+        record = yield from self.hash_table.lookup(
+            key, pre_delay_s=self._take_pending()
+        )
         return record
 
     def hash_insert(self, key, value):
-        record = yield from self.hash_table.insert(key, value)
+        record = yield from self.hash_table.insert(
+            key, value, pre_delay_s=self._take_pending()
+        )
         return record
 
     def hash_insert_if_absent(self, key, value):
-        record, created = yield from self.hash_table.insert_if_absent(key, value)
+        record, created = yield from self.hash_table.insert_if_absent(
+            key, value, pre_delay_s=self._take_pending()
+        )
         return record, created
 
     def hash_delete(self, key):
-        existed = yield from self.hash_table.delete(key)
+        existed = yield from self.hash_table.delete(
+            key, pre_delay_s=self._take_pending()
+        )
         return existed
 
     def __repr__(self) -> str:

@@ -151,10 +151,12 @@ class RMWComplex:
         engine_idx = self.engine_for(addr)
         engine = self._engines[engine_idx]
         stats = self.engine_stats[engine_idx]
-        yield engine.request()
+        grant = engine.acquire()
+        if grant is not None:
+            yield grant
         try:
             service_s = self._service_cycles(kind, size) * self.cycle_s
-            yield self.env.timeout(service_s)
+            yield self.env.delay(service_s)
             stats.ops += 1
             stats.bytes_serviced += size
             stats.busy_s += service_s
@@ -173,14 +175,24 @@ class RMWComplex:
             storage.write_raw(addr, data)
             return None
         if kind is RMWOpKind.COUNTER_INC:
-            for offset, delta in ((0, 1), (8, operand)):
-                raw = storage.read_raw(addr + offset, 8)
-                value = (int.from_bytes(raw, "little") + delta) & (2**64 - 1)
-                storage.write_raw(addr + offset, value.to_bytes(8, "little"))
+            read_int = getattr(storage, "read_int", None)
+            if read_int is not None:
+                write_int = storage.write_int
+                for offset, delta in ((0, 1), (8, operand)):
+                    value = (read_int(addr + offset, 8) + delta) & (2**64 - 1)
+                    write_int(addr + offset, value, 8)
+            else:
+                for offset, delta in ((0, 1), (8, operand)):
+                    raw = storage.read_raw(addr + offset, 8)
+                    value = (int.from_bytes(raw, "little") + delta) & (2**64 - 1)
+                    storage.write_raw(addr + offset, value.to_bytes(8, "little"))
             return None
 
-        raw = storage.read_raw(addr, size)
-        old = int.from_bytes(raw, "little")
+        read_int = getattr(storage, "read_int", None)
+        if read_int is not None:
+            old = read_int(addr, size)
+        else:
+            old = int.from_bytes(storage.read_raw(addr, size), "little")
         limit = (1 << (size * 8)) - 1
         if kind is RMWOpKind.ADD32:
             if size != 4:
@@ -200,7 +212,11 @@ class RMWComplex:
             new = (old & ~mask & limit) | (operand & mask)
         else:
             raise ValueError(f"unsupported RMW op: {kind}")
-        storage.write_raw(addr, new.to_bytes(size, "little"))
+        write_int = getattr(storage, "write_int", None)
+        if write_int is not None:
+            write_int(addr, new, size)
+        else:
+            storage.write_raw(addr, new.to_bytes(size, "little"))
         return old
 
     # ------------------------------------------------------------------
@@ -218,17 +234,19 @@ class RMWComplex:
         n_ops = len(values)
         if n_ops == 0:
             return
-        yield self._bulk_server.request()
+        grant = self._bulk_server.acquire()
+        if grant is not None:
+            yield grant
         try:
             service_s = n_ops * self.add32_cycles / (self.num_engines * self.clock_hz)
-            yield self.env.timeout(service_s)
+            yield self.env.delay(service_s)
             self.bulk_stats.ops += n_ops
             self.bulk_stats.bytes_serviced += 4 * n_ops
             self.bulk_stats.busy_s += service_s
             raw = self.storage.read_raw(addr, 4 * n_ops)
             current = np.frombuffer(raw, dtype="<u4").astype(np.int64)
-            summed = (current + (np.asarray(values, dtype=np.int64)
-                                 & 0xFFFFFFFF)) & 0xFFFFFFFF
+            # One final mask suffices: (a + b) mod 2^32 == (a + b mod 2^32).
+            summed = (current + np.asarray(values, dtype=np.int64)) & 0xFFFFFFFF
             self.storage.write_raw(addr, summed.astype("<u4").tobytes())
         finally:
             self._bulk_server.release()
@@ -242,11 +260,13 @@ class RMWComplex:
         """
         if nbytes <= 0:
             return
-        yield self._bulk_server.request()
+        grant = self._bulk_server.acquire()
+        if grant is not None:
+            yield grant
         try:
             cycles = (nbytes + self.bytes_per_cycle - 1) // self.bytes_per_cycle
             service_s = cycles / (self.num_engines * self.clock_hz)
-            yield self.env.timeout(service_s)
+            yield self.env.delay(service_s)
             self.bulk_stats.ops += 1
             self.bulk_stats.bytes_serviced += nbytes
             self.bulk_stats.busy_s += service_s

@@ -84,7 +84,7 @@ class TimerManager:
     def _timer_loop(self, group: TimerGroup, index: int):
         phase = index * group.period_s / group.num_threads
         if phase:
-            yield self.env.timeout(phase)
+            yield self.env.delay(phase)
         while not group.cancelled:
             group.firings += 1
             worker: Process = self.pfe.spawn_internal_thread(
@@ -92,4 +92,4 @@ class TimerManager:
                 name=f"timer:{group.name}:{index}",
             )
             yield worker
-            yield self.env.timeout(group.period_s)
+            yield self.env.delay(group.period_s)

@@ -196,7 +196,12 @@ class TrioMLAggregator(TrioApplication):
         if block is None:
             job_rec = yield from tctx.hash_lookup((header.job_id, -1))
             if job_rec is None:
-                yield from self.drop_counter.increment(pctx.length)
+                # Through the thread context so deferred execute charges
+                # fold into the XTXN (keeps RMW arrival times identical
+                # to eager charging).
+                yield from tctx.counter_inc(
+                    self.drop_counter.addr, pctx.length
+                )
                 self.no_job_drops += 1
                 pctx.drop()
                 return
@@ -260,7 +265,7 @@ class TrioMLAggregator(TrioApplication):
             )
             self._emit_result(runtime, result, pctx)
         pctx.consume()
-        self.packet_latencies.append(self.pfe.env.now - pctx.arrival_time)
+        self.packet_latencies.append(tctx.now - pctx.arrival_time)
 
     def _create_block(self, tctx: ThreadContext, runtime: JobRuntime,
                       header: TrioMLHeader) -> Optional[BlockRecord]:
@@ -289,7 +294,7 @@ class TrioMLAggregator(TrioApplication):
             gen_id=header.gen_id,
             grad_cnt=header.grad_cnt,
             block_exp_ms=record.block_exp_ms,
-            block_start_time=int(self.pfe.env.now * 1e9),
+            block_start_time=int(tctx.now * 1e9),
             job_ctx_paddr=record.paddr,
             aggr_paddr=aggr_paddr,
         )
@@ -307,7 +312,10 @@ class TrioMLAggregator(TrioApplication):
             return hash_rec.value
         # Init Agg Buffer + write the packed record (Figure 10).
         memory.write_raw(hot_paddr, bytes(BlockRecord.HOT_SIZE))
-        yield from memory.bulk_write(aggr_paddr, bytes(min(buf_bytes, 4096)))
+        yield from memory.bulk_write(
+            aggr_paddr, bytes(min(buf_bytes, 4096)),
+            pre_delay_s=tctx._take_pending(),
+        )
         if buf_bytes > 4096:
             memory.write_raw(aggr_paddr, bytes(buf_bytes))
         memory.write_raw(block.paddr, block.pack())
@@ -344,7 +352,9 @@ class TrioMLAggregator(TrioApplication):
             yield from tctx.read_tail(0, self.tail_chunk_bytes)
             yield from tctx.read_tail_chunks(num_chunks - 1)
         yield from tctx.execute(instructions)
-        yield from self.pfe.memory.bulk_add32(block.aggr_paddr, gradients)
+        yield from self.pfe.memory.bulk_add32(
+            block.aggr_paddr, gradients, pre_delay_s=tctx._take_pending()
+        )
         self.packets_aggregated += 1
         self.gradients_aggregated += n
 
@@ -367,9 +377,11 @@ class TrioMLAggregator(TrioApplication):
         # per-chunk access latencies are sequential and unconditioned, so
         # they are charged lumped (timing-equivalent; see read_tail_chunks).
         n_chunks = math.ceil(n_bytes / self.result_chunk_bytes)
-        aggregated = yield from memory.bulk_read(block.aggr_paddr, n_bytes)
+        aggregated = yield from memory.bulk_read(
+            block.aggr_paddr, n_bytes, pre_delay_s=tctx._take_pending()
+        )
         if n_chunks > 1:
-            yield self.pfe.env.timeout(
+            yield self.pfe.env.delay(
                 (n_chunks - 1)
                 * memory.access_latency_s(block.aggr_paddr, n_bytes)
             )
@@ -423,7 +435,7 @@ class TrioMLAggregator(TrioApplication):
                 block_id=block.block_id,
                 gen_id=block.gen_id,
                 start_time=block.block_start_time / 1e9,
-                finish_time=self.pfe.env.now,
+                finish_time=tctx.now,
                 degraded=degraded,
                 src_cnt=src_cnt,
             )

@@ -110,8 +110,9 @@ def encode_trio_ml(header: TrioMLHeader, gradients: Sequence[int]) -> bytes:
             f"{header.grad_cnt} gradients exceeds the {MAX_GRADIENTS_PER_PACKET} "
             "per-packet maximum (Figure 7)"
         )
-    ticks = np.asarray(gradients, dtype=np.int64) & 0xFFFFFFFF
-    return header.pack() + ticks.astype("<u4").tobytes()
+    # int64 -> uint32 cast truncates modulo 2^32, i.e. the & 0xFFFFFFFF.
+    ticks = np.asarray(gradients, dtype=np.int64).astype("<u4")
+    return header.pack() + ticks.tobytes()
 
 
 def decode_trio_ml(payload: bytes) -> Tuple[TrioMLHeader, List[int]]:

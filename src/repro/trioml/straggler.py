@@ -119,7 +119,7 @@ class StragglerDetector:
         runtime = self.aggregator.jobs.get(block.job_id)
         if runtime is None:
             return
-        now = self.pfe.env.now
+        now = tctx.now
         result = yield from self.aggregator.generate_result(
             tctx, runtime, block, degraded=True, age_op=AGE_OP_TIMED_OUT
         )

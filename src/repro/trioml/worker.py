@@ -157,7 +157,7 @@ class TrioMLWorker(Host):
                 if self.straggle_hook is not None:
                     delay = self.straggle_hook(block_id)
                     if delay and delay > 0:
-                        yield self.env.timeout(delay)
+                        yield self.env.delay(delay)
                         self._drain_inbox(state)
                 if block_id in state.results:
                     # The block aged out while we were straggling; its
@@ -188,7 +188,7 @@ class TrioMLWorker(Host):
         timeout = self.retransmit_timeout_s
         try:
             while not state.done:
-                yield self.env.timeout(timeout)
+                yield self.env.delay(timeout)
                 now = self.env.now
                 stale = [
                     block_id for block_id in state.sent
@@ -227,7 +227,7 @@ class TrioMLWorker(Host):
         if self.straggle_hook is not None:
             delay = self.straggle_hook(block_id)
             if delay and delay > 0:
-                yield self.env.timeout(delay)
+                yield self.env.delay(delay)
         header = TrioMLHeader(
             job_id=self.job_id,
             block_id=block_id,

@@ -1,0 +1,57 @@
+"""Determinism regression tests for the experiment sweeps.
+
+The fast-path kernel work (event pooling, coalesced scheduling,
+``--parallel`` fan-out) must never change a simulated result.  Each test
+runs a sweep point twice — or serially versus through process fan-out —
+and demands identical rows AND an identical scheduled-event count, the
+kernel-level fingerprint that catches even result-preserving changes in
+event bookkeeping.
+"""
+
+from repro.harness.experiments import (
+    _fig14_point,
+    _fig15_point,
+    _loss_point,
+    _map_points,
+)
+
+
+def test_fig15_point_bit_identical_across_runs():
+    args = (256, 5)
+    row_a, events_a = _fig15_point(args)
+    row_b, events_b = _fig15_point(args)
+    assert row_a == row_b
+    assert events_a == events_b
+
+
+def test_fig14_point_bit_identical_across_runs():
+    """The straggler-detector path (timeout scans, partial results)."""
+    args = (2.5, 4, 64, 20)
+    assert _fig14_point(args) == _fig14_point(args)
+
+
+def test_loss_point_bit_identical_across_runs():
+    """The seeded-RNG loss path (drops, retransmissions, replays)."""
+    args = (0.05, 6, 64)
+    assert _loss_point(args) == _loss_point(args)
+
+
+def test_fig15_serial_vs_parallel_bit_identical():
+    """Process fan-out cannot change any simulated result.
+
+    Every sweep point builds its Environment from its arguments alone
+    and ``ProcessPoolExecutor.map`` preserves order, so ``--parallel``
+    must return exactly the serial rows and event fingerprints.
+    """
+    points = [(64, 3), (128, 3), (256, 3)]
+    serial = _map_points(_fig15_point, points, parallel=None)
+    fanned = _map_points(_fig15_point, points, parallel=2)
+    assert serial == fanned
+
+
+def test_mixed_sweep_serial_vs_parallel_bit_identical():
+    """Fan-out preserves the RNG-dependent sweeps too."""
+    points = [(0.0, 4, 64), (0.1, 4, 64)]
+    serial = _map_points(_loss_point, points, parallel=None)
+    fanned = _map_points(_loss_point, points, parallel=2)
+    assert serial == fanned

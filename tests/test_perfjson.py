@@ -1,0 +1,78 @@
+"""Unit tests for the kernel benchmark recorder/checker."""
+
+import json
+
+import pytest
+
+from repro.harness import perfjson
+
+
+def _fake_doc(delay: float, timeout: float) -> dict:
+    return {
+        "schema": perfjson.SCHEMA,
+        "kernel": {
+            "delay_events_per_s": delay,
+            "timeout_events_per_s": timeout,
+        },
+    }
+
+
+@pytest.fixture
+def measured(monkeypatch):
+    """Pin collect() so check() compares against known numbers."""
+
+    def _pin(delay, timeout):
+        monkeypatch.setattr(
+            perfjson, "collect",
+            lambda quick=False: _fake_doc(delay, timeout),
+        )
+
+    return _pin
+
+
+def test_check_passes_within_tolerance(tmp_path, measured, capsys):
+    committed = tmp_path / "bench.json"
+    committed.write_text(json.dumps(_fake_doc(1_000_000, 1_000_000)))
+    measured(750_000, 900_000)  # -25% and -10%: inside the 30% budget
+    assert perfjson.check(committed) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_check_fails_on_regression(tmp_path, measured, capsys):
+    committed = tmp_path / "bench.json"
+    committed.write_text(json.dumps(_fake_doc(1_000_000, 1_000_000)))
+    measured(500_000, 1_000_000)  # delay path halved: regression
+    assert perfjson.check(committed) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "delay_events_per_s" in out
+
+
+def test_check_improvement_always_passes(tmp_path, measured):
+    committed = tmp_path / "bench.json"
+    committed.write_text(json.dumps(_fake_doc(1_000_000, 1_000_000)))
+    measured(3_000_000, 2_000_000)
+    assert perfjson.check(committed) == 0
+
+
+def test_collect_quick_schema():
+    doc = perfjson.collect(quick=True)
+    assert doc["schema"] == perfjson.SCHEMA
+    assert doc["kernel"]["delay_events_per_s"] > 0
+    assert doc["kernel"]["timeout_events_per_s"] > 0
+    assert doc["macro"]["packets_per_s"] > 0
+    assert doc["fig15_sweep"]["scheduled_events"] > 0
+    assert set(doc["seed_baseline"]) == {
+        "delay_events_per_s", "timeout_events_per_s", "fig15_cpu_s",
+    }
+
+
+def test_main_writes_json(tmp_path, monkeypatch):
+    out = tmp_path / "bench.json"
+    monkeypatch.setattr(
+        perfjson, "collect",
+        lambda quick=False: _fake_doc(2_000_000, 1_000_000),
+    )
+    assert perfjson.main(["--output", str(out), "--quick"]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["kernel"]["delay_events_per_s"] == 2_000_000
