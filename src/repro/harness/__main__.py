@@ -151,9 +151,18 @@ def main(argv=None) -> int:
         help="fan independent sweep points across up to N worker "
              "processes (results are bit-identical to a serial run)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="base seed adopted by every simulation Environment; the "
+             "default keeps the calibrated per-component streams",
+    )
     args = parser.parse_args(argv)
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    if args.seed is not None:
+        from repro.sim import set_default_seed
+
+        set_default_seed(args.seed)
     registry = build_registry(args.fast, args.chart, args.parallel)
 
     names = args.experiments
@@ -171,9 +180,9 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     for name in names:
-        start = time.time()
+        start = time.perf_counter()  # detlint: ok(wall-clock progress report)
         output = registry[name]()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start  # detlint: ok(progress report)
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]\n")
     return 0

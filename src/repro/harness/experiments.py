@@ -64,15 +64,21 @@ def _map_points(worker: Callable, points: Sequence,
     arguments alone, so each point is deterministic in isolation —
     executing points in separate processes cannot change any result.
     ``ProcessPoolExecutor.map`` preserves input order, so the returned
-    list is bit-identical to the serial loop.
+    list is bit-identical to the serial loop.  The process-wide default
+    seed (``--seed``) is replicated into each worker so seeded and
+    serial runs agree under any multiprocessing start method.
     """
     points = list(points)
     if not parallel or parallel <= 1 or len(points) <= 1:
         return [worker(point) for point in points]
     from concurrent.futures import ProcessPoolExecutor
 
+    from repro.sim import default_seed, set_default_seed
+
     with ProcessPoolExecutor(
-        max_workers=min(parallel, len(points))
+        max_workers=min(parallel, len(points)),
+        initializer=set_default_seed,
+        initargs=(default_seed(),),
     ) as pool:
         return list(pool.map(worker, points))
 #: Gradient-per-packet sweep of Figure 15.

@@ -18,36 +18,65 @@ and its toolchain:
   thread, charging one datapath-instruction latency per Microcode
   instruction and issuing real XTXNs for intrinsics like
   ``CounterIncPhys``.
+* :mod:`repro.microcode.analysis` — static analysis over compiled
+  programs: control-flow graph construction, termination and worst-case
+  instruction bounds (the compile-time complement of the interpreter's
+  runtime valve), register def-use, pointer/layout safety against
+  thread-local memory, and per-path operand-budget accounting.
 * :mod:`repro.microcode.programs` — shipped programs, including the §3.2
   packet filtering application.
 """
 
 from repro.microcode.errors import (
+    AnalysisError,
     CompileError,
+    Diagnostic,
     LexError,
     MicrocodeError,
     MicrocodeRuntimeError,
     ParseError,
+    SourceSpan,
 )
 from repro.microcode.lexer import Token, tokenize
 from repro.microcode.layout import StructLayout, read_bits, write_bits
-from repro.microcode.compiler import CompiledProgram, TrioCompiler
+from repro.microcode.compiler import (
+    CompiledProgram,
+    TrioCompiler,
+    apply_binary,
+)
 from repro.microcode.disasm import disassemble
 from repro.microcode.interp import MicrocodeExecutor
-from repro.microcode.programs import FILTER_PROGRAM_SOURCE
+from repro.microcode.programs import BUILTIN_PROGRAMS, FILTER_PROGRAM_SOURCE
+
+
+def __getattr__(name):
+    # Lazy (PEP 562) so `python -m repro.microcode.analysis` does not
+    # trip runpy's found-in-sys.modules warning.
+    if name in ("AnalysisReport", "analyze_program"):
+        from repro.microcode import analysis
+
+        return getattr(analysis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "BUILTIN_PROGRAMS",
     "CompileError",
     "CompiledProgram",
+    "Diagnostic",
     "FILTER_PROGRAM_SOURCE",
     "LexError",
     "MicrocodeError",
     "MicrocodeExecutor",
     "MicrocodeRuntimeError",
     "ParseError",
+    "SourceSpan",
     "StructLayout",
     "Token",
     "TrioCompiler",
+    "analyze_program",
+    "apply_binary",
     "disassemble",
     "read_bits",
     "tokenize",

@@ -1,0 +1,1105 @@
+"""Static analysis of compiled Microcode programs.
+
+The Trio Compiler's per-instruction budget check (§3.1) guarantees each
+instruction fits the hardware, but says nothing about the *program*:
+run-to-completion PPE threads (§2.2) additionally require that control
+flow terminates and that every pointer access stays inside the thread's
+local memory.  Until now those properties were only enforced at runtime
+(the ``MAX_EXECUTED_INSTRUCTIONS`` valve in :mod:`repro.microcode.interp`
+and bit-range checks in :mod:`repro.microcode.layout`), so a bad program
+failed mid-simulation instead of at compile time.
+
+:func:`analyze_program` builds a control-flow graph over the compiled
+instructions — one node per ``InstructionDef``, edges from ``goto``,
+``switch`` arms, fall-through, and ``call`` — and runs four passes:
+
+* **Termination** — instructions from which *no* path reaches an exit
+  (``exit``, fall-off-end, or a transfer to an extern label) form a goto
+  cycle not broken by any conditional: ``MC201``.  For terminating
+  programs the pass computes a worst-case executed-instruction bound per
+  entry label and cross-checks it against ``MAX_EXECUTED_INSTRUCTIONS``
+  (``MC202``); data-dependent loops that are statically unbounded but
+  can terminate get ``MC203``, recursive ``call`` chains ``MC204``.
+* **Def-use** — registers read on some path before any write (``MC101``),
+  writes that are re-written before any read or escape (``MC102``),
+  instructions unreachable from the entry (``MC103``), and statements
+  unreachable inside a body (``MC104``).  Transfers to extern labels and
+  ``exit`` treat every register as live-out: the surrounding codebase
+  (Figure 4) owns the register file afterwards.
+* **Pointer/layout safety** — ``ptr`` bindings and typed local-const
+  pointers whose extent leaves thread-local memory (``MC301``), field
+  accesses beyond local memory (``MC302``), and accesses to fields the
+  struct layout does not define (``MC303``).
+* **Budget accounting** — aggregates each instruction's
+  :class:`~repro.microcode.compiler.InstructionBudget` along worst-case
+  CFG paths, reporting the peak register/local-memory operand traffic a
+  single packet can generate from each entry label.
+
+Diagnostic codes
+----------------
+
+==========  =========  ====================================================
+code        severity   meaning
+==========  =========  ====================================================
+``MC101``   error      register may be read before any write
+``MC102``   warning    dead register write (overwritten before read/escape)
+``MC103``   warning    instruction unreachable from the entry label
+``MC104``   warning    statement unreachable inside an instruction body
+``MC201``   error      goto cycle with no exit path (guaranteed divergence)
+``MC202``   error      worst-case bound exceeds MAX_EXECUTED_INSTRUCTIONS
+``MC203``   warning    loop statically unbounded (broken only by data)
+``MC204``   warning    recursive subroutine call chain
+``MC301``   error      pointer binding extends beyond local memory
+``MC302``   error      field access extends beyond local memory
+``MC303``   error      field not defined by the pointer's struct layout
+==========  =========  ====================================================
+
+Run it from the command line with rustc-style output::
+
+    python -m repro.microcode.analysis prog.mc --extern forward_packet
+    python -m repro.microcode.analysis --builtins   # CI gate over programs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.microcode import ast_nodes as ast
+from repro.microcode.compiler import (
+    BUILTIN_NAMESPACES,
+    CompiledProgram,
+    apply_binary,
+)
+from repro.microcode.errors import (
+    Diagnostic,
+    MicrocodeError,
+    SourceSpan,
+    render_diagnostics,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CFGNode",
+    "PathBudget",
+    "analyze_program",
+    "main",
+]
+
+#: Default thread-local memory size, matching TrioConfig.lmem_bytes
+#: (1.25 KB, §2.2).  Kept as a literal so the microcode package stays
+#: independent of the chipset model; pass ``lmem_bytes=`` to override.
+DEFAULT_LMEM_BYTES = 1280
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Control-flow graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CFGNode:
+    """Per-instruction control-flow summary.
+
+    ``successors`` maps each possible ``goto`` target (internal or
+    extern) to the statement that transfers there; ``calls`` lists
+    subroutine targets; ``may_exit`` is True when some path through the
+    body ends in ``exit``, fall-off-end, or ``return``.
+    """
+
+    name: str
+    instr: ast.InstructionDef
+    successors: Dict[str, ast.Goto] = field(default_factory=dict)
+    calls: List[ast.CallSub] = field(default_factory=list)
+    may_exit: bool = False
+
+
+class _BodyWalker:
+    """Extracts successors/calls and flags unreachable statements."""
+
+    def __init__(self, node: CFGNode, diagnostics: List[Diagnostic],
+                 filename: str):
+        self.node = node
+        self.diagnostics = diagnostics
+        self.filename = filename
+
+    def walk(self, body: Sequence[object]) -> bool:
+        """Process a statement sequence; returns True when the sequence
+        may complete normally (fall through to whatever follows)."""
+        completes = True
+        for index, stmt in enumerate(body):
+            if not completes:
+                self.diagnostics.append(Diagnostic(
+                    "warning", "MC104",
+                    f"statement unreachable in instruction "
+                    f"{self.node.name!r}: every prior path has already "
+                    "transferred control",
+                    _span(stmt, self.filename),
+                ))
+                break
+            completes = self.walk_stmt(stmt)
+        return completes
+
+    def walk_stmt(self, stmt) -> bool:
+        node = self.node
+        if isinstance(stmt, ast.Goto):
+            node.successors.setdefault(stmt.label, stmt)
+            return False
+        if isinstance(stmt, ast.ExitStmt):
+            node.may_exit = True
+            return False
+        if isinstance(stmt, ast.ReturnStmt):
+            # Ends the enclosing subroutine; from the caller's point of
+            # view the instruction chain terminated normally.
+            node.may_exit = True
+            return False
+        if isinstance(stmt, ast.CallSub):
+            node.calls.append(stmt)
+            return True
+        if isinstance(stmt, ast.If):
+            then_completes = self.walk(stmt.then_body)
+            if stmt.else_body:
+                else_completes = self.walk(stmt.else_body)
+            else:
+                else_completes = True  # false condition falls through
+            return then_completes or else_completes
+        if isinstance(stmt, ast.Switch):
+            has_default = any(c.values is None for c in stmt.cases)
+            completes = not has_default  # unmatched selector falls through
+            for case in stmt.cases:
+                if self.walk(case.body):
+                    completes = True
+            return completes
+        return True  # Assign / LocalConst / CallStmt
+
+
+def _span(stmt, filename: str) -> Optional[SourceSpan]:
+    line = getattr(stmt, "line", 0)
+    return SourceSpan(line, filename=filename) if line else None
+
+
+def build_cfg(program: CompiledProgram, diagnostics: List[Diagnostic],
+              filename: str) -> Dict[str, CFGNode]:
+    """One CFG node per instruction, with goto/call edges extracted."""
+    cfg: Dict[str, CFGNode] = {}
+    for name, instr in program.instructions.items():
+        node = CFGNode(name=name, instr=instr)
+        completes = _BodyWalker(node, diagnostics, filename).walk(instr.body)
+        if completes:
+            node.may_exit = True  # fall off the end: thread terminates
+        cfg[name] = node
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Termination and worst-case bounds
+# ---------------------------------------------------------------------------
+
+
+def _terminating_labels(cfg: Dict[str, CFGNode],
+                        extern: Set[str]) -> Set[str]:
+    """Labels from which at least one path reaches an exit.
+
+    Computed as a least fixpoint: a node terminates if its body may
+    exit, it can transfer to an extern label, or it can transfer to a
+    terminating node.
+    """
+    terminating: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, node in cfg.items():
+            if name in terminating:
+                continue
+            if node.may_exit or any(
+                succ in extern or succ in terminating
+                for succ in node.successors
+            ):
+                terminating.add(name)
+                changed = True
+    return terminating
+
+
+def _reachable_from(cfg: Dict[str, CFGNode], entry: str) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [entry]
+    while stack:
+        label = stack.pop()
+        if label in seen or label not in cfg:
+            continue
+        seen.add(label)
+        node = cfg[label]
+        stack.extend(node.successors)
+        stack.extend(call.label for call in node.calls)
+    return seen
+
+
+@dataclass
+class PathBudget:
+    """Worst-case operand traffic along any path from an entry label.
+
+    ``instructions`` is the worst-case executed-instruction bound (the
+    static analogue of the interpreter's runtime valve); all fields are
+    ``inf`` when a data-dependent loop makes the path length unbounded.
+    """
+
+    instructions: float = 0.0
+    reg_reads: float = 0.0
+    mem_reads: float = 0.0
+    reg_writes: float = 0.0
+    mem_writes: float = 0.0
+
+    @property
+    def bounded(self) -> bool:
+        return self.instructions != _INF
+
+    def describe(self) -> str:
+        def fmt(value: float) -> str:
+            return "unbounded" if value == _INF else str(int(value))
+
+        return (f"worst case: {fmt(self.instructions)} instructions, "
+                f"reads {fmt(self.reg_reads)} reg / {fmt(self.mem_reads)} "
+                f"mem, writes {fmt(self.reg_writes)} reg / "
+                f"{fmt(self.mem_writes)} mem")
+
+
+class _BoundSolver:
+    """Memoized longest-path solver over the (possibly cyclic) CFG.
+
+    Cycles yield ``inf``; subroutine calls add the callee's bound (every
+    call in a body is charged — a sound upper bound even when the calls
+    are on exclusive branches).
+    """
+
+    def __init__(self, program: CompiledProgram, cfg: Dict[str, CFGNode],
+                 diagnostics: List[Diagnostic], filename: str):
+        self.program = program
+        self.cfg = cfg
+        self.diagnostics = diagnostics
+        self.filename = filename
+        self.extern = set(program.extern_labels)
+        self._memo: Dict[str, PathBudget] = {}
+        self._visiting: Set[str] = set()
+        self._reported_recursion: Set[str] = set()
+
+    def bound(self, label: str) -> PathBudget:
+        if label in self.extern or label not in self.cfg:
+            return PathBudget()
+        if label in self._memo:
+            return self._memo[label]
+        if label in self._visiting:
+            return PathBudget(_INF, _INF, _INF, _INF, _INF)
+        self._visiting.add(label)
+        node = self.cfg[label]
+        budget = self.program.budgets.get(label)
+
+        result = PathBudget(
+            instructions=1.0,
+            reg_reads=float(budget.reg_reads) if budget else 0.0,
+            mem_reads=float(budget.mem_reads) if budget else 0.0,
+            reg_writes=float(budget.reg_writes) if budget else 0.0,
+            mem_writes=float(budget.mem_writes) if budget else 0.0,
+        )
+        for call in node.calls:
+            if call.label in self._visiting:
+                if call.label not in self._reported_recursion:
+                    self._reported_recursion.add(call.label)
+                    self.diagnostics.append(Diagnostic(
+                        "warning", "MC204",
+                        f"recursive subroutine call chain through "
+                        f"{call.label!r}; the PPE call stack nests at "
+                        "most 8 levels (§2.2)",
+                        _span(call, self.filename),
+                    ))
+                sub = PathBudget(_INF, _INF, _INF, _INF, _INF)
+            else:
+                sub = self.bound(call.label)
+            result.instructions += sub.instructions
+            result.reg_reads += sub.reg_reads
+            result.mem_reads += sub.mem_reads
+            result.reg_writes += sub.reg_writes
+            result.mem_writes += sub.mem_writes
+
+        best = PathBudget()  # exit / fall-through path costs nothing more
+        for succ in node.successors:
+            if succ in self.extern:
+                continue
+            tail = self.bound(succ)
+            best.instructions = max(best.instructions, tail.instructions)
+            best.reg_reads = max(best.reg_reads, tail.reg_reads)
+            best.mem_reads = max(best.mem_reads, tail.mem_reads)
+            best.reg_writes = max(best.reg_writes, tail.reg_writes)
+            best.mem_writes = max(best.mem_writes, tail.mem_writes)
+        result.instructions += best.instructions
+        result.reg_reads += best.reg_reads
+        result.mem_reads += best.mem_reads
+        result.reg_writes += best.reg_writes
+        result.mem_writes += best.mem_writes
+
+        self._visiting.discard(label)
+        self._memo[label] = result
+        return result
+
+
+def _check_termination(
+    program: CompiledProgram,
+    cfg: Dict[str, CFGNode],
+    reachable: Set[str],
+    diagnostics: List[Diagnostic],
+    filename: str,
+    max_instructions: int,
+) -> Dict[str, PathBudget]:
+    extern = set(program.extern_labels)
+    terminating = _terminating_labels(cfg, extern)
+
+    # Guaranteed divergence: reachable nodes with no path to an exit.
+    # Report each connected trap region once, anchored at its first goto.
+    doomed = sorted(
+        (reachable & set(cfg)) - terminating,
+        key=lambda name: cfg[name].instr.line,
+    )
+    reported: Set[str] = set()
+    for name in doomed:
+        if name in reported:
+            continue
+        region = {
+            label for label in _reachable_from(cfg, name)
+            if label in cfg and label not in terminating
+        }
+        reported |= region
+        node = cfg[name]
+        anchor: object = node.instr
+        for succ, goto in node.successors.items():
+            if succ in region:
+                anchor = goto
+                break
+        cycle = " -> ".join(sorted(region, key=lambda n: cfg[n].instr.line))
+        diagnostics.append(Diagnostic(
+            "error", "MC201",
+            f"instructions form a goto cycle with no exit path: {cycle}",
+            _span(anchor, filename),
+            notes=["every path loops forever; the runtime valve "
+                   f"(MAX_EXECUTED_INSTRUCTIONS={max_instructions}) would "
+                   "kill the thread mid-simulation"],
+        ))
+
+    solver = _BoundSolver(program, cfg, diagnostics, filename)
+    bounds = {label: solver.bound(label) for label in cfg}
+
+    entry_bound = bounds.get(program.entry)
+    if entry_bound is not None:
+        if not entry_bound.bounded:
+            if program.entry in terminating and not doomed:
+                diagnostics.append(Diagnostic(
+                    "warning", "MC203",
+                    f"entry {program.entry!r} sits on a loop broken only "
+                    "by a data-dependent conditional: the executed-"
+                    "instruction count is statically unbounded",
+                    _span(cfg[program.entry].instr, filename),
+                    notes=["the interpreter enforces "
+                           f"MAX_EXECUTED_INSTRUCTIONS={max_instructions} "
+                           "at runtime"],
+                ))
+        elif entry_bound.instructions > max_instructions:
+            diagnostics.append(Diagnostic(
+                "error", "MC202",
+                f"worst-case bound from entry {program.entry!r} is "
+                f"{int(entry_bound.instructions)} executed instructions, "
+                f"above MAX_EXECUTED_INSTRUCTIONS={max_instructions}",
+                _span(cfg[program.entry].instr, filename),
+            ))
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Def-use analysis
+# ---------------------------------------------------------------------------
+
+
+def _expr_reg_reads(expr, reg_map: Dict[str, int], out: List[ast.Name]):
+    if isinstance(expr, ast.Name):
+        if expr.ident in reg_map:
+            out.append(expr)
+    elif isinstance(expr, ast.Member):
+        _expr_reg_reads(expr.base, reg_map, out)
+    elif isinstance(expr, ast.Unary):
+        _expr_reg_reads(expr.operand, reg_map, out)
+    elif isinstance(expr, ast.Binary):
+        _expr_reg_reads(expr.left, reg_map, out)
+        _expr_reg_reads(expr.right, reg_map, out)
+
+
+class _DefUse:
+    """Forward must-def plus backward liveness over the goto graph.
+
+    Must-def catches reads on paths where no write has happened yet
+    (MC101); liveness catches writes that every continuation overwrites
+    before reading (MC102).  Extern transfers and ``exit`` make all
+    registers live: the surrounding codebase reads them (Figure 4 hands
+    parse results to the aggregation code through registers).
+    """
+
+    def __init__(self, program: CompiledProgram, cfg: Dict[str, CFGNode],
+                 reachable: Set[str], diagnostics: List[Diagnostic],
+                 filename: str):
+        self.program = program
+        self.cfg = cfg
+        self.reachable = reachable
+        self.diagnostics = diagnostics
+        self.filename = filename
+        self.regs = set(program.reg_map)
+        self.extern = set(program.extern_labels)
+
+    # -- forward must-def -------------------------------------------------
+
+    def run_must_def(self) -> None:
+        # in-state per label: None = not yet seen; else frozenset of regs
+        # definitely written on every path reaching the label.
+        in_state: Dict[str, Optional[frozenset]] = {
+            label: None for label in self.cfg
+        }
+        in_state[self.program.entry] = frozenset()
+        worklist = [self.program.entry]
+        # Collect (stmt, reg) pairs so fixpoint iterations do not emit
+        # duplicate diagnostics.
+        flagged: Set[Tuple[int, str]] = set()
+        while worklist:
+            label = worklist.pop(0)
+            if label not in self.cfg:
+                continue
+            state = in_state[label]
+            assert state is not None
+            outs: Dict[str, frozenset] = {}
+            self._walk_must(self.cfg[label].instr.body, set(state), outs,
+                            flagged, report=False)
+            for succ, out in outs.items():
+                if succ in self.extern or succ not in self.cfg:
+                    continue
+                previous = in_state[succ]
+                joined = out if previous is None else (previous & out)
+                if previous is None or joined != previous:
+                    in_state[succ] = frozenset(joined)
+                    worklist.append(succ)
+        # Second pass with stable in-states: emit diagnostics.
+        for label in self.cfg:
+            state = in_state[label]
+            if state is None:
+                continue  # unreachable; MC103 covers it
+            self._walk_must(self.cfg[label].instr.body, set(state), {},
+                            flagged, report=True)
+
+    def _walk_must(self, body, defined: Set[str],
+                   outs: Dict[str, frozenset],
+                   flagged: Set[Tuple[int, str]], report: bool) -> bool:
+        """Returns True when the sequence may complete; updates ``outs``
+        with the defined-set flowing along each goto edge."""
+        for stmt in body:
+            if isinstance(stmt, ast.Goto):
+                previous = outs.get(stmt.label)
+                current = frozenset(defined)
+                outs[stmt.label] = (current if previous is None
+                                    else previous & current)
+                return False
+            if isinstance(stmt, (ast.ExitStmt, ast.ReturnStmt)):
+                return False
+            if isinstance(stmt, ast.Assign):
+                self._check_reads(stmt.expr, defined, flagged, report)
+                if isinstance(stmt.target, ast.Member):
+                    self._check_reads(stmt.target.base, defined, flagged,
+                                      report)
+                elif (isinstance(stmt.target, ast.Name)
+                      and stmt.target.ident in self.regs):
+                    defined.add(stmt.target.ident)
+                continue
+            if isinstance(stmt, ast.LocalConst):
+                self._check_reads(stmt.expr, defined, flagged, report)
+                continue
+            if isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    self._check_reads(arg, defined, flagged, report)
+                continue
+            if isinstance(stmt, ast.CallSub):
+                # Callee reads run under the caller's defined set; its
+                # writes are not guaranteed on every path, so the set is
+                # unchanged (sound for must-def).
+                self._propagate_call(stmt.label, defined, outs, flagged,
+                                     report)
+                continue
+            if isinstance(stmt, ast.If):
+                self._check_reads(stmt.cond, defined, flagged, report)
+                then_set = set(defined)
+                then_completes = self._walk_must(stmt.then_body, then_set,
+                                                 outs, flagged, report)
+                else_set = set(defined)
+                if stmt.else_body:
+                    else_completes = self._walk_must(
+                        stmt.else_body, else_set, outs, flagged, report)
+                else:
+                    else_completes = True  # false condition falls through
+                completing = [s for s, done in
+                              ((then_set, then_completes),
+                               (else_set, else_completes)) if done]
+                if not completing:
+                    return False
+                joined = completing[0]
+                for arm in completing[1:]:
+                    joined = joined & arm
+                defined.clear()
+                defined.update(joined)
+                continue
+            if isinstance(stmt, ast.Switch):
+                self._check_reads(stmt.selector, defined, flagged, report)
+                arm_sets: List[Set[str]] = []
+                all_transfer = True
+                has_default = any(c.values is None for c in stmt.cases)
+                for case in stmt.cases:
+                    arm = set(defined)
+                    completes = self._walk_must(case.body, arm, outs,
+                                                flagged, report)
+                    if completes:
+                        arm_sets.append(arm)
+                        all_transfer = False
+                if not has_default:
+                    arm_sets.append(set(defined))
+                    all_transfer = False
+                if all_transfer and not arm_sets:
+                    return False
+                joined = arm_sets[0]
+                for arm in arm_sets[1:]:
+                    joined &= arm
+                defined.clear()
+                defined.update(joined)
+                continue
+        return True
+
+    def _propagate_call(self, label: str, defined: Set[str],
+                        outs: Dict[str, frozenset],
+                        flagged: Set[Tuple[int, str]], report: bool) -> None:
+        if label in self.extern or label not in self.cfg:
+            return
+        # Reads inside the callee happen with (at least) the caller's
+        # defined registers; checking with exactly that set is the
+        # intersection semantics the fixpoint would give us.
+        self._walk_must(self.cfg[label].instr.body, set(defined), outs,
+                        flagged, report)
+
+    def _check_reads(self, expr, defined: Set[str],
+                     flagged: Set[Tuple[int, str]], report: bool) -> None:
+        reads: List[ast.Name] = []
+        _expr_reg_reads(expr, self.program.reg_map, reads)
+        for name in reads:
+            if name.ident in defined:
+                continue
+            if not report:
+                continue
+            key = (id(name), name.ident)
+            if key in flagged:
+                continue
+            flagged.add(key)
+            self.diagnostics.append(Diagnostic(
+                "error", "MC101",
+                f"register {name.ident!r} may be read before any "
+                f"write on a path from entry {self.program.entry!r}",
+                _span(name, self.filename),
+                notes=["intermediate registers are thread-scratch "
+                       "state; initialise before use (§3.1)"],
+            ))
+
+    # -- backward liveness -------------------------------------------------
+
+    def run_liveness(self) -> None:
+        all_regs = frozenset(self.regs)
+        live_in: Dict[str, frozenset] = {
+            label: frozenset() for label in self.cfg
+        }
+        changed = True
+        while changed:
+            changed = False
+            for label in self.cfg:
+                new = self._body_live(
+                    self.cfg[label].instr.body, live_in, all_regs,
+                    report=False,
+                )
+                if new != live_in[label]:
+                    live_in[label] = new
+                    changed = True
+        for label in self.cfg:
+            if label not in self.reachable:
+                continue
+            self._body_live(self.cfg[label].instr.body, live_in, all_regs,
+                            report=True)
+
+    def _body_live(self, body, live_in: Dict[str, frozenset],
+                   all_regs: frozenset, report: bool) -> frozenset:
+        """Live registers at the start of ``body``.
+
+        Fall-off-end terminates the thread with the surrounding codebase
+        holding the register file, so the sequence's live-out is
+        ``all_regs``.
+        """
+        return self._seq_live(list(body), live_in, all_regs, all_regs,
+                              report)
+
+    def _seq_live(self, stmts, live_in, all_regs, live_out, report
+                  ) -> frozenset:
+        live = set(live_out)
+        for stmt in reversed(stmts):
+            live = self._stmt_live(stmt, live_in, all_regs,
+                                   frozenset(live), report)
+        return frozenset(live)
+
+    def _stmt_live(self, stmt, live_in, all_regs, live_out, report
+                   ) -> Set[str]:
+        live = set(live_out)
+        if isinstance(stmt, ast.Goto):
+            if stmt.label in self.extern or stmt.label not in self.cfg:
+                return set(all_regs)
+            return set(live_in[stmt.label])
+        if isinstance(stmt, (ast.ExitStmt, ast.ReturnStmt)):
+            return set(all_regs)
+        if isinstance(stmt, ast.Assign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.ident in self.regs:
+                if target.ident not in live and report:
+                    self.diagnostics.append(Diagnostic(
+                        "warning", "MC102",
+                        f"dead write to register {target.ident!r}: every "
+                        "following path overwrites it before reading",
+                        _span(target, self.filename),
+                    ))
+                live.discard(target.ident)
+            elif isinstance(target, ast.Member):
+                self._add_reads(target.base, live)
+            self._add_reads(stmt.expr, live)
+            return live
+        if isinstance(stmt, ast.LocalConst):
+            self._add_reads(stmt.expr, live)
+            return live
+        if isinstance(stmt, ast.CallStmt):
+            for arg in stmt.args:
+                self._add_reads(arg, live)
+            return live
+        if isinstance(stmt, ast.CallSub):
+            # The callee may read any register before control returns.
+            return set(all_regs)
+        if isinstance(stmt, ast.If):
+            then_live = self._seq_live(stmt.then_body, live_in, all_regs,
+                                       live_out, report)
+            else_live = self._seq_live(stmt.else_body, live_in, all_regs,
+                                       live_out, report) \
+                if stmt.else_body else live_out
+            live = set(then_live) | set(else_live)
+            self._add_reads(stmt.cond, live)
+            return live
+        if isinstance(stmt, ast.Switch):
+            merged: Set[str] = set()
+            has_default = False
+            for case in stmt.cases:
+                if case.values is None:
+                    has_default = True
+                merged |= set(self._seq_live(case.body, live_in, all_regs,
+                                             live_out, report))
+            if not has_default:
+                merged |= set(live_out)
+            self._add_reads(stmt.selector, merged)
+            return merged
+        return live
+
+    def _add_reads(self, expr, live: Set[str]) -> None:
+        reads: List[ast.Name] = []
+        _expr_reg_reads(expr, self.program.reg_map, reads)
+        live.update(name.ident for name in reads)
+
+
+# ---------------------------------------------------------------------------
+# Pointer / layout safety
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _AbstractPtr:
+    struct_name: Optional[str]  # None once arithmetic strips the type
+    offset: Optional[int]       # None when not statically known
+
+
+class _PointerChecker:
+    """Abstract interpretation of pointer expressions against LMEM."""
+
+    def __init__(self, program: CompiledProgram, lmem_bytes: int,
+                 diagnostics: List[Diagnostic], filename: str):
+        self.program = program
+        self.lmem_bytes = lmem_bytes
+        self.diagnostics = diagnostics
+        self.filename = filename
+        # Flow-insensitive pointer environment: every binding a name can
+        # take anywhere in the program.
+        self.env: Dict[str, List[_AbstractPtr]] = {}
+        for name, (struct_name, offset) in program.ptr_map.items():
+            self.env[name] = [_AbstractPtr(struct_name, offset)]
+
+    def run(self) -> None:
+        for name, (struct_name, offset) in self.program.ptr_map.items():
+            layout = self.program.structs[struct_name]
+            extent = offset + layout.size_bytes
+            if offset < 0 or extent > self.lmem_bytes:
+                self.diagnostics.append(Diagnostic(
+                    "error", "MC301",
+                    f"ptr {name!r} binds {struct_name} at byte {offset}: "
+                    f"extent {extent} exceeds the {self.lmem_bytes}-byte "
+                    "thread-local memory (§2.2)",
+                ))
+        # Pass 1: collect typed local-const pointers program-wide.
+        for instr in self.program.instructions.values():
+            self._collect(instr.body)
+        # Pass 2: check every member access.
+        for instr in self.program.instructions.values():
+            self._check_body(instr.body)
+
+    # -- collection -------------------------------------------------------
+
+    def _collect(self, body) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.LocalConst):
+                value = self._eval_ptr(stmt.expr)
+                if stmt.is_pointer:
+                    if value is None:
+                        value = _AbstractPtr(stmt.type_name, None)
+                    else:
+                        value = _AbstractPtr(stmt.type_name, value.offset)
+                    layout = self.program.structs.get(stmt.type_name)
+                    if layout is not None and value.offset is not None:
+                        extent = value.offset + layout.size_bytes
+                        if value.offset < 0 or extent > self.lmem_bytes:
+                            self.diagnostics.append(Diagnostic(
+                                "error", "MC301",
+                                f"pointer {stmt.name!r} points "
+                                f"{stmt.type_name} at byte {value.offset}: "
+                                f"extent {extent} exceeds the "
+                                f"{self.lmem_bytes}-byte thread-local "
+                                "memory (§2.2)",
+                                _span(stmt, self.filename),
+                            ))
+                if value is not None:
+                    self.env.setdefault(stmt.name, []).append(value)
+            elif isinstance(stmt, ast.If):
+                self._collect(stmt.then_body)
+                self._collect(stmt.else_body)
+            elif isinstance(stmt, ast.Switch):
+                for case in stmt.cases:
+                    self._collect(case.body)
+
+    def _eval_ptr(self, expr) -> Optional[_AbstractPtr]:
+        """Abstract pointer value of ``expr``, or None when scalar/unknown."""
+        if isinstance(expr, ast.Name):
+            values = self.env.get(expr.ident)
+            if values:
+                return values[0]
+            return None
+        if isinstance(expr, ast.Binary) and expr.op == "+":
+            left = self._eval_ptr(expr.left)
+            if left is not None:
+                delta = self._eval_int(expr.right)
+                if left.offset is None or delta is None:
+                    return _AbstractPtr(None, None)
+                return _AbstractPtr(None, left.offset + delta)
+            right = self._eval_ptr(expr.right)
+            if right is not None:
+                delta = self._eval_int(expr.left)
+                if right.offset is None or delta is None:
+                    return _AbstractPtr(None, None)
+                return _AbstractPtr(None, right.offset + delta)
+        return None
+
+    def _eval_int(self, expr) -> Optional[int]:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.SizeOf):
+            layout = self.program.structs.get(expr.type_name)
+            return layout.size_bytes if layout else None
+        if isinstance(expr, ast.Name):
+            return self.program.consts.get(expr.ident)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            value = self._eval_int(expr.operand)
+            return -value if value is not None else None
+        if isinstance(expr, ast.Binary):
+            left = self._eval_int(expr.left)
+            right = self._eval_int(expr.right)
+            if left is None or right is None:
+                return None
+            try:
+                return apply_binary(expr.op, left, right)
+            except MicrocodeError:
+                return None
+        return None
+
+    # -- access checks ----------------------------------------------------
+
+    def _check_body(self, body) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                self._check_expr(stmt.expr)
+                if isinstance(stmt.target, ast.Member):
+                    self._check_member(stmt.target)
+            elif isinstance(stmt, ast.LocalConst):
+                self._check_expr(stmt.expr)
+            elif isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    self._check_expr(arg)
+            elif isinstance(stmt, ast.If):
+                self._check_expr(stmt.cond)
+                self._check_body(stmt.then_body)
+                self._check_body(stmt.else_body)
+            elif isinstance(stmt, ast.Switch):
+                self._check_expr(stmt.selector)
+                for case in stmt.cases:
+                    self._check_body(case.body)
+
+    def _check_expr(self, expr) -> None:
+        if isinstance(expr, ast.Member):
+            self._check_member(expr)
+        elif isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+
+    def _check_member(self, member: ast.Member) -> None:
+        base = member.base
+        if isinstance(base, ast.Name) and base.ident in BUILTIN_NAMESPACES:
+            return
+        if isinstance(base, ast.Member):
+            self._check_member(base)
+            return
+        candidates: List[_AbstractPtr] = []
+        if isinstance(base, ast.Name):
+            candidates = self.env.get(base.ident, [])
+        else:
+            value = self._eval_ptr(base)
+            if value is not None:
+                candidates = [value]
+        for ptr in candidates:
+            if ptr.struct_name is None:
+                continue
+            layout = self.program.structs.get(ptr.struct_name)
+            if layout is None:
+                continue
+            if member.field_name not in layout.fields:
+                self.diagnostics.append(Diagnostic(
+                    "error", "MC303",
+                    f"struct {ptr.struct_name!r} has no field "
+                    f"{member.field_name!r} "
+                    f"(has: {', '.join(sorted(layout.fields))})",
+                    _span(member, self.filename),
+                ))
+                continue
+            if ptr.offset is None:
+                continue
+            fld = layout.fields[member.field_name]
+            end_bit = ptr.offset * 8 + fld.bit_offset + fld.width
+            if ptr.offset < 0 or end_bit > self.lmem_bytes * 8:
+                self.diagnostics.append(Diagnostic(
+                    "error", "MC302",
+                    f"access {member.field_name!r} at LMEM byte "
+                    f"{ptr.offset}+{fld.bit_offset // 8} reaches bit "
+                    f"{end_bit}, beyond the {self.lmem_bytes}-byte "
+                    "thread-local memory (§2.2)",
+                    _span(member, self.filename),
+                ))
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the static passes learned about one compiled program."""
+
+    entry: str
+    diagnostics: List[Diagnostic]
+    cfg: Dict[str, CFGNode]
+    reachable: Set[str]
+    path_budgets: Dict[str, PathBudget]
+    source: Optional[str] = None
+    filename: str = "<source>"
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def findings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity != "note"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def entry_budget(self) -> PathBudget:
+        return self.path_budgets.get(self.entry, PathBudget())
+
+    def render(self) -> str:
+        """Human-readable report: findings first, then the bound summary."""
+        parts: List[str] = []
+        if self.diagnostics:
+            parts.append(render_diagnostics(self.diagnostics, self.source))
+        summary = [
+            f"entry {self.entry!r}: {self.entry_budget().describe()}",
+            f"{len(self.cfg)} instructions, "
+            f"{len(self.reachable & set(self.cfg))} reachable from entry",
+        ]
+        errors = len(self.errors)
+        warnings = len(self.warnings)
+        summary.append(
+            f"analysis: {errors} error(s), {warnings} warning(s)"
+        )
+        parts.append("\n".join(summary))
+        return "\n\n".join(parts)
+
+
+def analyze_program(
+    program: CompiledProgram,
+    source: Optional[str] = None,
+    lmem_bytes: int = DEFAULT_LMEM_BYTES,
+    max_instructions: Optional[int] = None,
+    filename: str = "<source>",
+) -> AnalysisReport:
+    """Run every static pass over ``program`` and collect diagnostics.
+
+    ``source`` (the original Microcode text) enables quoted source lines
+    in rendered diagnostics; analysis itself only needs the compiled
+    program.
+    """
+    if max_instructions is None:
+        from repro.microcode.interp import MAX_EXECUTED_INSTRUCTIONS
+        max_instructions = MAX_EXECUTED_INSTRUCTIONS
+    if source is None:
+        source = program.source
+    diagnostics: List[Diagnostic] = []
+    cfg = build_cfg(program, diagnostics, filename)
+    reachable = _reachable_from(cfg, program.entry)
+
+    for name, node in cfg.items():
+        if name not in reachable:
+            diagnostics.append(Diagnostic(
+                "warning", "MC103",
+                f"instruction {name!r} is unreachable from entry "
+                f"{program.entry!r}: no goto or call targets it",
+                _span(node.instr, filename),
+            ))
+
+    path_budgets = _check_termination(
+        program, cfg, reachable, diagnostics, filename, max_instructions
+    )
+
+    defuse = _DefUse(program, cfg, reachable, diagnostics, filename)
+    defuse.run_must_def()
+    defuse.run_liveness()
+
+    _PointerChecker(program, lmem_bytes, diagnostics, filename).run()
+
+    return AnalysisReport(
+        entry=program.entry,
+        diagnostics=diagnostics,
+        cfg=cfg,
+        reachable=reachable,
+        path_budgets=path_budgets,
+        source=source,
+        filename=filename,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _analyze_source(source: str, entry: Optional[str],
+                    externs: Sequence[str], filename: str,
+                    lmem_bytes: int) -> AnalysisReport:
+    from repro.microcode.compiler import TrioCompiler
+
+    compiler = TrioCompiler(extern_labels=externs)
+    program = compiler.compile(source, entry=entry)
+    return analyze_program(program, source=source, lmem_bytes=lmem_bytes,
+                           filename=filename)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.microcode.analysis",
+        description="Static analysis of Microcode programs: termination, "
+                    "def-use, pointer/layout safety, and worst-case "
+                    "operand-budget accounting.",
+    )
+    parser.add_argument("files", nargs="*",
+                        help="Microcode source files to analyze")
+    parser.add_argument("--entry", default=None,
+                        help="entry instruction (default: first defined)")
+    parser.add_argument("--extern", dest="externs", action="append",
+                        default=[], metavar="LABEL",
+                        help="extern label resolved by the surrounding "
+                             "codebase (repeatable)")
+    parser.add_argument("--lmem-bytes", type=int, default=DEFAULT_LMEM_BYTES,
+                        help="thread-local memory size "
+                             f"(default {DEFAULT_LMEM_BYTES})")
+    parser.add_argument("--builtins", action="store_true",
+                        help="analyze every shipped program in "
+                             "repro.microcode.programs (the CI gate)")
+    parser.add_argument("--werror", action="store_true",
+                        help="exit non-zero on warnings as well as errors")
+    args = parser.parse_args(argv)
+
+    if not args.files and not args.builtins:
+        parser.error("give Microcode files or --builtins")
+
+    failed = False
+    reports: List[Tuple[str, AnalysisReport]] = []
+
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            report = _analyze_source(source, args.entry, args.externs,
+                                     path, args.lmem_bytes)
+        except MicrocodeError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        reports.append((path, report))
+
+    if args.builtins:
+        from repro.microcode.programs import BUILTIN_PROGRAMS
+        for name, spec in BUILTIN_PROGRAMS.items():
+            try:
+                report = _analyze_source(
+                    spec.source, spec.entry, spec.extern_labels,
+                    f"<builtin:{name}>", args.lmem_bytes,
+                )
+            except MicrocodeError as exc:
+                print(f"error: builtin {name}: {exc}", file=sys.stderr)
+                failed = True
+                continue
+            reports.append((f"builtin:{name}", report))
+
+    for path, report in reports:
+        print(f"== {path}")
+        print(report.render())
+        print()
+        if report.errors or (args.werror and report.findings):
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

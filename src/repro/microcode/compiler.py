@@ -18,11 +18,16 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.microcode import ast_nodes as ast
-from repro.microcode.errors import CompileError
+from repro.microcode.errors import AnalysisError, CompileError
 from repro.microcode.layout import StructLayout
 from repro.microcode.parser import parse
 
-__all__ = ["CompiledProgram", "InstructionBudget", "TrioCompiler"]
+__all__ = [
+    "CompiledProgram",
+    "InstructionBudget",
+    "TrioCompiler",
+    "apply_binary",
+]
 
 #: Builtin bus variables always available to programs (r_work.pkt_len etc.)
 BUILTIN_NAMESPACES = frozenset({"r_work"})
@@ -81,6 +86,10 @@ class CompiledProgram:
     entry: str
     extern_labels: FrozenSet[str]
     budgets: Dict[str, InstructionBudget] = field(default_factory=dict)
+    #: The original source text (for diagnostics and disassembly).
+    source: Optional[str] = None
+    #: Static-analysis report, populated when TC runs with analyze!="off".
+    analysis: Optional[object] = None
 
     @property
     def num_instructions(self) -> int:
@@ -95,8 +104,35 @@ class TrioCompiler:
     to, Figure 4) — e.g. ``forward_packet`` and ``drop_packet``.
     """
 
-    def __init__(self, extern_labels: Iterable[str] = ()):
+    #: Valid values for the ``analyze`` compile mode.
+    ANALYZE_MODES = ("off", "warn", "error")
+
+    def __init__(self, extern_labels: Iterable[str] = (),
+                 analyze: str = "off",
+                 lmem_bytes: Optional[int] = None):
+        """``analyze`` wires the static analyzer into compilation:
+
+        * ``"off"`` — budget checks only (the seed behaviour).
+        * ``"warn"`` — run :func:`repro.microcode.analysis.analyze_program`
+          after compilation, attach the report to
+          :attr:`CompiledProgram.analysis`, and print findings to stderr.
+        * ``"error"`` — same, but reject the program with
+          :class:`~repro.microcode.errors.AnalysisError` when the
+          analyzer reports any error (non-termination, use-before-def,
+          out-of-layout pointers) — the program never reaches the
+          simulator.
+
+        ``lmem_bytes`` overrides the thread-local memory size used by
+        the pointer-safety pass.
+        """
+        if analyze not in self.ANALYZE_MODES:
+            raise ValueError(
+                f"analyze must be one of {self.ANALYZE_MODES}, "
+                f"got {analyze!r}"
+            )
         self.extern_labels = frozenset(extern_labels)
+        self.analyze = analyze
+        self.lmem_bytes = lmem_bytes
 
     def compile(self, source: str, entry: Optional[str] = None
                 ) -> CompiledProgram:
@@ -132,7 +168,7 @@ class TrioCompiler:
             budget.check(instr.name)
             budgets[instr.name] = budget
 
-        return CompiledProgram(
+        compiled = CompiledProgram(
             structs=structs,
             consts=consts,
             reg_map=reg_map,
@@ -141,7 +177,32 @@ class TrioCompiler:
             entry=entry,
             extern_labels=self.extern_labels,
             budgets=budgets,
+            source=source,
         )
+        if self.analyze != "off":
+            self._run_analysis(compiled)
+        return compiled
+
+    def _run_analysis(self, compiled: CompiledProgram) -> None:
+        # Imported here: analysis depends on this module for the program
+        # representation, so the top level cannot import it back.
+        from repro.microcode import analysis as mca
+
+        kwargs = {}
+        if self.lmem_bytes is not None:
+            kwargs["lmem_bytes"] = self.lmem_bytes
+        report = mca.analyze_program(compiled, **kwargs)
+        compiled.analysis = report
+        if self.analyze == "error" and report.errors:
+            raise AnalysisError(
+                f"static analysis rejected the program with "
+                f"{len(report.errors)} error(s):\n"
+                + report.render(),
+                report.diagnostics,
+            )
+        if report.findings:
+            import sys
+            print(report.render(), file=sys.stderr)
 
     # ------------------------------------------------------------------
     # Declarations
@@ -217,7 +278,7 @@ class TrioCompiler:
         if isinstance(expr, ast.Binary):
             left = self._const_eval(expr.left, consts, structs)
             right = self._const_eval(expr.right, consts, structs)
-            return _apply_binary(expr.op, left, right)
+            return apply_binary(expr.op, left, right)
         raise CompileError("expression is not a compile-time constant")
 
     # ------------------------------------------------------------------
@@ -381,8 +442,17 @@ class TrioCompiler:
         raise CompileError(f"unsupported expression {type(expr).__name__}")
 
 
-def _apply_binary(op: str, left: int, right: int) -> int:
-    """Shared integer semantics for constant folding and the interpreter."""
+def apply_binary(op: str, left: int, right: int) -> int:
+    """Evaluate one Microcode binary operator over Python ints.
+
+    This is the single source of truth for the dialect's integer
+    semantics (C-style comparisons returning 0/1, floor division,
+    short-circuit operators already decided by the caller), shared by
+    TC's constant folder, the interpreter
+    (:mod:`repro.microcode.interp`), and the static analyzer's abstract
+    pointer evaluation.  Raises :class:`CompileError` on division or
+    modulo by zero and on unknown operators.
+    """
     if op == "+":
         return left + right
     if op == "-":
@@ -424,3 +494,7 @@ def _apply_binary(op: str, left: int, right: int) -> int:
     if op == "||":
         return int(bool(left) or bool(right))
     raise CompileError(f"unsupported operator {op!r}")
+
+
+#: Backwards-compatible alias from before apply_binary was public API.
+_apply_binary = apply_binary

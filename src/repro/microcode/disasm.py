@@ -9,12 +9,16 @@ golden-output tests of the compiler.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.microcode import ast_nodes as ast
 from repro.microcode.compiler import CompiledProgram
 
 __all__ = ["disassemble", "format_expr", "format_stmt"]
+
+#: Duck-typed to avoid importing repro.microcode.analysis at module
+#: load (analysis imports the compiler; disasm only renders reports).
+AnalysisReportLike = object
 
 _INDENT = "    "
 
@@ -85,22 +89,50 @@ def format_stmt(stmt, depth: int = 1) -> List[str]:
     return [f"{pad}<?{type(stmt).__name__}?>"]
 
 
-def disassemble(program: CompiledProgram) -> str:
-    """Render the whole compiled program with TC's resolution annotations."""
+def disassemble(program: CompiledProgram,
+                analysis: Optional[AnalysisReportLike] = None) -> str:
+    """Render the whole compiled program with TC's resolution annotations.
+
+    Pass an :class:`~repro.microcode.analysis.AnalysisReport` (from
+    ``analyze_program`` or ``TrioCompiler(analyze=...)``) to annotate
+    each instruction with its worst-case bound, reachability, and any
+    diagnostics anchored on its body.
+    """
     lines: List[str] = []
     lines.append(f"// entry: {program.entry}")
     if program.extern_labels:
         lines.append(
             "// externs: " + ", ".join(sorted(program.extern_labels))
         )
+    if analysis is not None:
+        budget = analysis.entry_budget()
+        lines.append(f"// analysis: {budget.describe()}")
+        lines.append(
+            f"// analysis: {len(analysis.errors)} error(s), "
+            f"{len(analysis.warnings)} warning(s)"
+        )
     lines.append("")
 
     for name, layout in program.structs.items():
         lines.append(f"struct {name} {{  // {layout.size_bytes} bytes")
+        # Reconstruct unnamed padding from gaps between named fields so
+        # the rendered struct re-compiles to an identical layout.
+        cursor = 0
         for field in layout.fields.values():
+            if field.bit_offset > cursor:
+                lines.append(
+                    f"{_INDENT}: {field.bit_offset - cursor};"
+                    f"  // padding, bit offset {cursor}"
+                )
             lines.append(
                 f"{_INDENT}{field.name} : {field.width};"
                 f"  // bit offset {field.bit_offset}"
+            )
+            cursor = field.bit_offset + field.width
+        if layout.total_bits > cursor:
+            lines.append(
+                f"{_INDENT}: {layout.total_bits - cursor};"
+                f"  // padding, bit offset {cursor}"
             )
         lines.append("};")
         lines.append("")
@@ -125,6 +157,26 @@ def disassemble(program: CompiledProgram) -> str:
             )
         else:
             lines.append(f"{name}:")
+        if analysis is not None:
+            path = analysis.path_budgets.get(name)
+            if path is not None:
+                wcet = ("unbounded" if not path.bounded
+                        else f"{int(path.instructions)} instr")
+                reach = ("" if name in analysis.reachable
+                         else "; UNREACHABLE from entry")
+                lines.append(f"//   worst case from here: {wcet}{reach}")
+            # An instruction owns the source lines from its label up to
+            # the next instruction's label (or EOF).
+            starts = sorted(i.line for i in program.instructions.values())
+            next_starts = [s for s in starts if s > instr.line]
+            end_line = next_starts[0] if next_starts else float("inf")
+            for diag in analysis.diagnostics:
+                if diag.span is None:
+                    continue
+                if instr.line <= diag.span.line < end_line:
+                    lines.append(
+                        f"//   {diag.severity}[{diag.code}]: {diag.message}"
+                    )
         lines.append("begin")
         for stmt in instr.body:
             lines.extend(format_stmt(stmt))

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.microcode import ast_nodes as ast
-from repro.microcode.compiler import CompiledProgram, _apply_binary
+from repro.microcode.compiler import CompiledProgram, apply_binary
 from repro.microcode.errors import MicrocodeRuntimeError
 from repro.microcode.layout import StructLayout
 
@@ -271,7 +271,7 @@ class _ThreadState:
                 raise MicrocodeRuntimeError(
                     f"line {expr.line}: unsupported pointer op {expr.op!r}"
                 )
-            return _apply_binary(expr.op, left, right)
+            return apply_binary(expr.op, left, right)
         raise MicrocodeRuntimeError(
             f"unsupported expression {type(expr).__name__}"
         )

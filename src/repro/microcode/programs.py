@@ -13,10 +13,15 @@ register ``ir0`` and the pre-parsed ``ether_ptr``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
 from repro.microcode.compiler import CompiledProgram, TrioCompiler
 from repro.microcode.interp import MicrocodeExecutor
 
 __all__ = [
+    "BUILTIN_PROGRAMS",
+    "BuiltinProgram",
     "FILTER_PROGRAM_SOURCE",
     "TRIO_ML_PARSE_SOURCE",
     "build_filter_executor",
@@ -196,6 +201,41 @@ end
 """
 
 
+@dataclass(frozen=True)
+class BuiltinProgram:
+    """Source + binding of one shipped program, for tooling to enumerate."""
+
+    name: str
+    source: str
+    entry: str
+    extern_labels: Tuple[str, ...]
+
+    def compile(self, analyze: str = "off") -> CompiledProgram:
+        compiler = TrioCompiler(extern_labels=self.extern_labels,
+                                analyze=analyze)
+        return compiler.compile(self.source, entry=self.entry)
+
+
+#: Every shipped program, keyed by name.  The static-analysis CI gate
+#: (``python -m repro.microcode.analysis --builtins``) and the clean-
+#: program tests iterate this registry, so new programs added here are
+#: automatically held to the same bar.
+BUILTIN_PROGRAMS: Dict[str, BuiltinProgram] = {
+    "filter": BuiltinProgram(
+        name="filter",
+        source=FILTER_PROGRAM_SOURCE,
+        entry="process_ether",
+        extern_labels=("forward_packet", "drop_packet"),
+    ),
+    "trio_ml_parse": BuiltinProgram(
+        name="trio_ml_parse",
+        source=TRIO_ML_PARSE_SOURCE,
+        entry="classify_ether",
+        extern_labels=("forward_packet", "aggregate"),
+    ),
+}
+
+
 def compile_trio_ml_parse_program() -> CompiledProgram:
     """Compile the Trio-ML classification/parse front end.
 
@@ -203,8 +243,7 @@ def compile_trio_ml_parse_program() -> CompiledProgram:
     path) and ``aggregate`` (the ~60-instruction aggregation body of
     Figure 10) are extern labels supplied by the surrounding codebase.
     """
-    compiler = TrioCompiler(extern_labels=["forward_packet", "aggregate"])
-    return compiler.compile(TRIO_ML_PARSE_SOURCE, entry="classify_ether")
+    return BUILTIN_PROGRAMS["trio_ml_parse"].compile()
 
 
 def compile_filter_program() -> CompiledProgram:
@@ -214,8 +253,7 @@ def compile_filter_program() -> CompiledProgram:
     the existing codebase ("code to forward the packet based on the
     destination address" / "code to drop the packet").
     """
-    compiler = TrioCompiler(extern_labels=["forward_packet", "drop_packet"])
-    return compiler.compile(FILTER_PROGRAM_SOURCE, entry="process_ether")
+    return BUILTIN_PROGRAMS["filter"].compile()
 
 
 def build_filter_executor(counter_base_addr: int = 0) -> MicrocodeExecutor:

@@ -11,8 +11,9 @@ calibration.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["DNNModel", "MODEL_ZOO"]
 
@@ -46,6 +47,25 @@ class DNNModel:
     def num_gradients(self) -> int:
         """Number of float32 parameters."""
         return self.size_bytes // 4
+
+    def sample_compute_time(self, rng: Optional[random.Random] = None,
+                            jitter: float = 0.0) -> float:
+        """One iteration's GPU compute time, with optional jitter.
+
+        ``jitter`` is the half-width of a uniform multiplicative band
+        around :attr:`compute_time_s` (0.05 = ±5%).  Draws come from the
+        caller-supplied ``rng`` — pass a stream from
+        ``Environment.rng_stream`` so runs stay reproducible; with no
+        jitter (the calibrated default) the result is exact and no rng
+        is needed.
+        """
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be non-negative: {jitter}")
+        if jitter == 0.0:
+            return self.compute_time_s
+        if rng is None:
+            raise ValueError("jitter requires a seeded rng stream")
+        return self.compute_time_s * rng.uniform(1.0 - jitter, 1.0 + jitter)
 
     def __str__(self) -> str:
         return self.name

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["SlowWorkerPattern", "StraggleEvent"]
 
@@ -35,7 +35,8 @@ class SlowWorkerPattern:
     """Samples per-iteration straggle delays for a worker group."""
 
     def __init__(self, probability: float, num_workers: int,
-                 typical_iteration_s: float, seed: int = 0):
+                 typical_iteration_s: float, seed: int = 0,
+                 rng: Optional[random.Random] = None):
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1]: {probability}")
         if num_workers < 1:
@@ -47,7 +48,9 @@ class SlowWorkerPattern:
         self.probability = probability
         self.num_workers = num_workers
         self.typical_iteration_s = typical_iteration_s
-        self._rng = random.Random(seed)
+        # An explicit rng (e.g. Environment.rng_stream(...)) wins over
+        # the seed, letting callers tie the pattern to a sim seed tree.
+        self._rng = rng if rng is not None else random.Random(seed)
         self.events: List[StraggleEvent] = []
 
     def sample_iteration(self) -> Dict[int, float]:

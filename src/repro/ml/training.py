@@ -21,6 +21,7 @@ can be set from packet-level measurements.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -51,6 +52,9 @@ class TrainingConfig:
     #: [1x, 2x] the timeout, so 1.5x on average (validated by Figure 14).
     mitigation_factor: float = 1.5
     seed: int = 0
+    #: Half-width of the uniform per-iteration GPU compute jitter band
+    #: (0.05 = ±5%).  0 keeps the calibrated deterministic compute time.
+    compute_jitter: float = 0.0
 
     def __post_init__(self):
         if self.system not in SYSTEMS:
@@ -59,6 +63,10 @@ class TrainingConfig:
             )
         if self.num_workers < 2:
             raise ValueError("need at least two workers for allreduce")
+        if self.compute_jitter < 0.0:
+            raise ValueError(
+                f"compute_jitter must be non-negative: {self.compute_jitter}"
+            )
 
     @property
     def typical_iteration_s(self) -> float:
@@ -92,7 +100,11 @@ class IterationRecord:
 class DataParallelTrainer:
     """Runs iterations under one system's aggregation semantics."""
 
-    def __init__(self, config: TrainingConfig):
+    def __init__(self, config: TrainingConfig, env=None):
+        """``env``: optionally derive all random streams from a
+        :class:`repro.sim.Environment`'s seed tree (``env.rng_stream``)
+        instead of ``config.seed`` directly, so one simulation-wide seed
+        controls both packet-level and training-loop randomness."""
         self.config = config
         # The straggle magnitude is relative to the model's *typical*
         # iteration time (§6.1), which we take from the Ideal system so
@@ -102,11 +114,18 @@ class DataParallelTrainer:
             num_workers=config.num_workers,
         )
         self._typical_s = ideal.typical_iteration_s
+        if env is not None:
+            pattern_rng = env.rng_stream(f"straggle/{config.seed}")
+            self._compute_rng = env.rng_stream(f"compute/{config.seed}")
+        else:
+            pattern_rng = None  # the pattern seeds itself from config.seed
+            self._compute_rng = random.Random(f"compute/{config.seed}")
         self.pattern = SlowWorkerPattern(
             probability=config.straggle_probability,
             num_workers=config.num_workers,
             typical_iteration_s=self._typical_s,
             seed=config.seed,
+            rng=pattern_rng,
         )
         self.records: List[IterationRecord] = []
 
@@ -117,10 +136,13 @@ class DataParallelTrainer:
     def run(self, num_iterations: int) -> List[IterationRecord]:
         """Simulate ``num_iterations``; returns (and stores) the records."""
         config = self.config
-        compute = config.model.compute_time_s
+        jitter = config.compute_jitter
         comm = config.allreduce_time_s
         records = []
         for index in range(num_iterations):
+            compute = config.model.sample_compute_time(
+                self._compute_rng, jitter
+            )
             if config.system == "ideal":
                 delays: Dict[int, float] = {}
             else:

@@ -10,7 +10,6 @@ depends on.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Callable, Optional
 
 from repro.net.packet import Packet
@@ -100,7 +99,9 @@ class Link:
         self.bandwidth_bps = float(bandwidth_bps)
         self.propagation_delay_s = float(propagation_delay_s)
         self.loss_rate = float(loss_rate)
-        self._loss_rng = random.Random(loss_seed)
+        # Stream keyed by loss_seed alone, so two links with the same
+        # seed drop the same frame indices regardless of creation order.
+        self._loss_rng = env.rng_stream(loss_seed)
         self.frames_lost = 0
         self.ports = (a, b)
         a.link = self

@@ -21,6 +21,8 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Timeout,
+    default_seed,
+    set_default_seed,
 )
 from repro.sim.resources import PriorityStore, Resource, Store
 
@@ -34,4 +36,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "default_seed",
+    "set_default_seed",
 ]

@@ -39,6 +39,7 @@ same tie-breaking (schedule order), same failure semantics.
 
 from __future__ import annotations
 
+import random
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -49,10 +50,33 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "default_seed",
+    "set_default_seed",
 ]
 
 #: Sentinel stored in :attr:`Event._value` while the event is pending.
 _PENDING = object()
+
+#: Process-wide base seed adopted by environments constructed without an
+#: explicit ``seed`` — how ``python -m repro.harness --seed N`` reaches
+#: the many ``Environment()`` call sites inside the experiment drivers.
+_DEFAULT_SEED: Optional[Any] = None
+
+
+def set_default_seed(seed: Optional[Any]) -> None:
+    """Set the base seed future ``Environment()`` instances adopt.
+
+    ``None`` restores the default behaviour (streams keyed by their own
+    per-component keys only).  Affects only environments created after
+    the call.
+    """
+    global _DEFAULT_SEED
+    _DEFAULT_SEED = seed
+
+
+def default_seed() -> Optional[Any]:
+    """The process-wide base seed (see :func:`set_default_seed`)."""
+    return _DEFAULT_SEED
 
 
 class SimulationError(Exception):
@@ -406,19 +430,51 @@ class Environment:
     """Owns simulated time and executes events in timestamp order.
 
     Ties are broken by insertion order so the simulation is deterministic.
+
+    Randomness is owned here too: every model component that needs a
+    random stream derives it with :meth:`rng_stream` instead of touching
+    the interpreter-global :mod:`random` state, so a simulation's outcome
+    is a pure function of ``(models, seed)`` — the property the
+    determinism tests and the ``--parallel`` figure harness rely on.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 seed: Optional[Any] = None):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._scheduled = 0
         self._active_process: Optional[Process] = None
         self._delay_pool: List[_Delay] = []
+        self._seed = seed if seed is not None else _DEFAULT_SEED
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def seed(self) -> Optional[Any]:
+        """The environment's base seed (``None`` = per-stream keys only)."""
+        return self._seed
+
+    def rng_stream(self, key: Any) -> random.Random:
+        """A private, reproducible RNG stream named by ``key``.
+
+        Two environments with the same seed hand out identical streams
+        for the same key; distinct keys give independent streams.  With
+        no environment seed the stream is seeded by ``key`` alone, so a
+        component's stream does not change when unrelated components
+        are added or reordered.
+        """
+        if not isinstance(key, (int, str, bytes, bytearray)):
+            # Other hashables (e.g. tuples) would seed via hash(), which
+            # varies across processes under string-hash randomisation.
+            raise TypeError(
+                f"rng_stream key must be int/str/bytes, got {type(key).__name__}"
+            )
+        if self._seed is None:
+            return random.Random(key)
+        return random.Random(f"{self._seed}/{key}")
 
     @property
     def active_process(self) -> Optional[Process]:

@@ -1,0 +1,5 @@
+"""Repository tooling: linters and checks that run in CI.
+
+* :mod:`repro.tools.detlint` — static determinism linter over the
+  simulator's own Python sources.
+"""

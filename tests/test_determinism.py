@@ -8,12 +8,17 @@ kernel-level fingerprint that catches even result-preserving changes in
 event bookkeeping.
 """
 
+import pytest
+
 from repro.harness.experiments import (
     _fig14_point,
     _fig15_point,
     _loss_point,
     _map_points,
 )
+from repro.ml.training import DataParallelTrainer, TrainingConfig
+from repro.ml.models import MODEL_ZOO
+from repro.sim import Environment, default_seed, set_default_seed
 
 
 def test_fig15_point_bit_identical_across_runs():
@@ -55,3 +60,86 @@ def test_mixed_sweep_serial_vs_parallel_bit_identical():
     serial = _map_points(_loss_point, points, parallel=None)
     fanned = _map_points(_loss_point, points, parallel=2)
     assert serial == fanned
+
+
+# ---------------------------------------------------------------------------
+# Seeded RNG streams (Environment.rng_stream and the --seed plumbing).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def restore_default_seed():
+    saved = default_seed()
+    yield
+    set_default_seed(saved)
+
+
+def test_rng_stream_unseeded_matches_bare_random():
+    """With no env seed, rng_stream(k) must be bit-identical to
+    random.Random(k) — the calibrated link-loss streams depend on it."""
+    import random
+
+    stream = Environment().rng_stream(1234)
+    reference = random.Random(1234)
+    assert [stream.random() for _ in range(32)] == \
+           [reference.random() for _ in range(32)]
+
+
+def test_rng_stream_seeded_reproducible_and_key_separated():
+    a = Environment(seed=7)
+    b = Environment(seed=7)
+    assert [a.rng_stream("loss").random() for _ in range(8)] == \
+           [b.rng_stream("loss").random() for _ in range(8)]
+    # Distinct keys and distinct seeds give distinct streams.
+    assert a.rng_stream("loss").random() != a.rng_stream("jitter").random()
+    assert Environment(seed=7).rng_stream("loss").random() != \
+           Environment(seed=8).rng_stream("loss").random()
+
+
+def test_rng_stream_rejects_hash_randomised_keys():
+    with pytest.raises(TypeError):
+        Environment().rng_stream(("link", 0))
+
+
+def test_default_seed_adopted_by_new_environments(restore_default_seed):
+    set_default_seed(99)
+    assert Environment().seed == 99
+    assert Environment(seed=5).seed == 5  # explicit wins
+    set_default_seed(None)
+    assert Environment().seed is None
+
+
+def test_seeded_sweep_serial_vs_parallel_bit_identical(restore_default_seed):
+    """--seed must survive the fan-out into worker processes."""
+    set_default_seed(21)
+    points = [(0.05, 4, 64), (0.1, 4, 64)]
+    serial = _map_points(_loss_point, points, parallel=None)
+    fanned = _map_points(_loss_point, points, parallel=2)
+    assert serial == fanned
+
+
+def test_trainer_compute_jitter_reproducible():
+    config = TrainingConfig(
+        model=MODEL_ZOO["resnet50"], system="trioml",
+        straggle_probability=0.1, seed=3, compute_jitter=0.05,
+    )
+    run_a = DataParallelTrainer(config).run(50)
+    run_b = DataParallelTrainer(config).run(50)
+    assert [r.duration_s for r in run_a] == [r.duration_s for r in run_b]
+    # Jitter actually perturbs iteration times around the calibrated value.
+    base = MODEL_ZOO["resnet50"].compute_time_s
+    assert any(abs(r.duration_s - run_a[0].duration_s) > 1e-12
+               for r in run_a[1:])
+    assert all(r.duration_s > base * 0.9 for r in run_a)
+
+
+def test_trainer_env_seed_tree_reproducible():
+    config = TrainingConfig(
+        model=MODEL_ZOO["vgg11"], system="switchml",
+        straggle_probability=0.08, compute_jitter=0.02,
+    )
+    run_a = DataParallelTrainer(config, env=Environment(seed=11)).run(40)
+    run_b = DataParallelTrainer(config, env=Environment(seed=11)).run(40)
+    run_c = DataParallelTrainer(config, env=Environment(seed=12)).run(40)
+    durations = [r.duration_s for r in run_a]
+    assert durations == [r.duration_s for r in run_b]
+    assert durations != [r.duration_s for r in run_c]
