@@ -8,11 +8,16 @@ Runs the same small allreduce twice at packet level:
 * Trio-ML on the Trio model with timer-thread straggler detection — the
   healthy workers receive partial results within ~2x the timeout.
 
-This is the packet-level mechanism behind the Figure 13 gap.
+This is the packet-level mechanism behind the Figure 13 gap.  The same
+two systems also exist as closed-form plugins in the collective-backend
+registry (``repro.collectives``); the run ends by asking each backend
+what it *predicts* the straggle costs, so you can see the packet level
+and the training-level model agree.
 
 Run:  python examples/switchml_vs_trioml.py
 """
 
+from repro.collectives import get_backend
 from repro.harness import build_single_pfe_testbed
 from repro.net import IPv4Address, MACAddress, Topology
 from repro.sim import Environment
@@ -91,6 +96,25 @@ def run_trioml() -> float:
     return healthy
 
 
+def closed_form_predictions() -> dict:
+    """What each registered backend predicts the straggle costs.
+
+    The backends' ``iteration_duration`` encapsulates exactly the
+    semantics the packet level just demonstrated: SwitchML absorbs the
+    straggler's full delay, Trio-ML caps it at the detection bound.
+    """
+    delays = {3: STRAGGLE_S}
+    predictions = {}
+    for name in ("switchml", "trioml"):
+        backend = get_backend(name)
+        duration, mitigated = backend.iteration_duration(
+            compute_s=0.0, comm_s=0.0, delays=delays,
+            mitigation_bound_s=2 * TIMEOUT_S,
+        )
+        predictions[name] = (backend.display_name, duration, mitigated)
+    return predictions
+
+
 def main() -> None:
     switchml_s = run_switchml()
     trioml_s = run_trioml()
@@ -100,6 +124,13 @@ def main() -> None:
     print(f"Trio-ML:  healthy workers finish at {trioml_s * 1e3:7.2f} ms "
           f"(partial results within ~2x the {TIMEOUT_S * 1e3:.0f} ms timeout)")
     print(f"\nspeedup for the healthy workers: {switchml_s / trioml_s:.2f}x")
+
+    print("\nclosed-form backends (repro.collectives) predict the same "
+          "straggle overhead:")
+    for name, (label, duration, mitigated) in (
+            closed_form_predictions().items()):
+        tag = "mitigated" if mitigated else "absorbed in full"
+        print(f"  {label:<14} +{duration * 1e3:6.2f} ms ({tag})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,53 @@
+"""Pluggable collective-backend layer.
+
+Every gradient-aggregation system the training-level experiments compare
+(Figures 12-13) is a :class:`CollectiveBackend` plugin in a name-keyed
+registry:
+
+>>> from repro.collectives import available_backends, get_backend
+>>> available_backends()
+('ideal', 'ring-straggler', 'switchml', 'trioml')
+>>> get_backend("TrioML").allreduce_time_s(98 * 2**20, 6)  # doctest: +ELLIPSIS
+0.018...
+
+* :mod:`repro.collectives.base` — the backend interface (closed-form
+  communication model + straggler semantics + metadata).
+* :mod:`repro.collectives.registry` — ``register_backend`` /
+  ``get_backend`` / ``available_backends``.
+* :mod:`repro.collectives.backends` — the built-ins: ``ideal``,
+  ``switchml``, ``trioml``, and the extension ``ring-straggler``.
+* :mod:`repro.collectives.calibrate` — the bridge that derives the
+  closed-form goodput constants from the packet-level testbeds
+  (``python -m repro.collectives.calibrate``).
+
+See EXPERIMENTS.md ("Adding a collective backend") for the plugin
+recipe.
+"""
+
+from repro.collectives.base import CollectiveBackend
+from repro.collectives.registry import (
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.collectives.backends import (
+    IdealRingBackend,
+    RingStragglerBackend,
+    SwitchMLBackend,
+    TrioMLBackend,
+)
+
+__all__ = [
+    "CollectiveBackend",
+    "IdealRingBackend",
+    "RingStragglerBackend",
+    "SwitchMLBackend",
+    "TrioMLBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,155 @@
+"""The built-in collective backends (§6.1's three systems, plus one).
+
+Each class ports one arm of the pre-refactor ``if/else`` ladder out of
+``ml/training.py`` into a self-contained plugin.  The closed-form
+communication formulas stay in :mod:`repro.ml.allreduce` (they are public
+API and the calibration record lives with them); backends bind a formula
+to straggler semantics and metadata.
+
+The float arithmetic below reproduces the pre-refactor expressions
+*term for term* (e.g. ``compute + max_delay + comm`` vs
+``compute + comm + mitigation``), so every figure the harness produced
+before the refactor is bit-identical after it.
+
+``ring-straggler`` is the extensibility proof: a backend the paper never
+plots (an NCCL ring that, like any barrier collective, absorbs the
+slowest worker's full delay), registered in ~30 lines and immediately
+sweepable through the harness (``python -m repro.harness backends``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.collectives.base import CollectiveBackend
+from repro.collectives.registry import register_backend
+from repro.ml.allreduce import (
+    LINK_BANDWIDTH_BPS,
+    RING_EFFICIENCY,
+    SWITCHML_GOODPUT_BPS,
+    TRIOML_GOODPUT_BPS,
+    in_network_allreduce_time,
+    ring_allreduce_time,
+)
+
+__all__ = [
+    "IdealRingBackend",
+    "RingStragglerBackend",
+    "SwitchMLBackend",
+    "TrioMLBackend",
+]
+
+
+def _max_delay(delays: Dict[int, float]) -> float:
+    return max(delays.values(), default=0.0)
+
+
+class IdealRingBackend(CollectiveBackend):
+    """The paper's Ideal baseline: NCCL ring over RDMA, no stragglers."""
+
+    name = "ideal"
+    display_name = "Ideal (NCCL ring)"
+    description = ("Bandwidth-optimal ring allreduce over RDMA; "
+                   "stragglers are never injected.")
+    paper_ref = "§6.1, Figures 12-13"
+    injects_stragglers = False
+
+    def __init__(self, bandwidth_bps: float = LINK_BANDWIDTH_BPS,
+                 efficiency: float = RING_EFFICIENCY):
+        self.bandwidth_bps = bandwidth_bps
+        self.efficiency = efficiency
+
+    def allreduce_time_s(self, model_bytes: int, num_workers: int) -> float:
+        return ring_allreduce_time(model_bytes, num_workers,
+                                   bandwidth_bps=self.bandwidth_bps,
+                                   efficiency=self.efficiency)
+
+    def iteration_duration(self, compute_s: float, comm_s: float,
+                           delays: Dict[int, float],
+                           mitigation_bound_s: float = 0.0
+                           ) -> Tuple[float, bool]:
+        return compute_s + comm_s, False
+
+
+class RingStragglerBackend(IdealRingBackend):
+    """NCCL ring exposed to stragglers (not plotted in the paper).
+
+    A ring allreduce is a barrier collective: every worker's reduce-
+    scatter step waits on its neighbour, so the slowest worker's full
+    delay serialises into everyone's iteration — the same semantic root
+    as SwitchML's all-contributors slots, but at ring (not in-network)
+    communication cost.  Plotting it against Ideal isolates how much of
+    Figure 13's gap is straggler semantics rather than wire time.
+    """
+
+    name = "ring-straggler"
+    display_name = "NCCL ring (stragglers)"
+    description = ("Ring allreduce whose barrier absorbs the slowest "
+                   "worker's full delay each iteration.")
+    paper_ref = "extension (not in the paper)"
+    injects_stragglers = True
+
+    def iteration_duration(self, compute_s: float, comm_s: float,
+                           delays: Dict[int, float],
+                           mitigation_bound_s: float = 0.0
+                           ) -> Tuple[float, bool]:
+        return compute_s + _max_delay(delays) + comm_s, False
+
+
+class SwitchMLBackend(CollectiveBackend):
+    """SwitchML-256 on Tofino with the DPDK client (§6.1)."""
+
+    name = "switchml"
+    display_name = "SwitchML-256"
+    description = ("In-network aggregation with all-contributors pool "
+                   "slots; one straggler stalls the whole job.")
+    paper_ref = "§6.1, Figures 12-13"
+
+    def __init__(self, goodput_bps: float = SWITCHML_GOODPUT_BPS):
+        self.goodput_bps = goodput_bps
+
+    def allreduce_time_s(self, model_bytes: int, num_workers: int) -> float:
+        return in_network_allreduce_time(model_bytes, self.goodput_bps)
+
+    def iteration_duration(self, compute_s: float, comm_s: float,
+                           delays: Dict[int, float],
+                           mitigation_bound_s: float = 0.0
+                           ) -> Tuple[float, bool]:
+        # Every slot needs every worker: the job absorbs the slowest
+        # worker's full delay.
+        return compute_s + _max_delay(delays) + comm_s, False
+
+
+class TrioMLBackend(CollectiveBackend):
+    """Trio-ML with timer-thread straggler mitigation (§5, §6.1)."""
+
+    name = "trioml"
+    display_name = "Trio-ML"
+    description = ("In-network aggregation on Trio; straggling blocks "
+                   "age out after the timeout and complete partially.")
+    paper_ref = "§5-6, Figures 12-14"
+
+    def __init__(self, goodput_bps: float = TRIOML_GOODPUT_BPS):
+        self.goodput_bps = goodput_bps
+
+    def allreduce_time_s(self, model_bytes: int, num_workers: int) -> float:
+        return in_network_allreduce_time(model_bytes, self.goodput_bps)
+
+    def iteration_duration(self, compute_s: float, comm_s: float,
+                           delays: Dict[int, float],
+                           mitigation_bound_s: float = 0.0
+                           ) -> Tuple[float, bool]:
+        max_delay = _max_delay(delays)
+        if max_delay > 0:
+            # Straggling blocks age out; everyone else proceeds after
+            # the detection bound.  The straggler drops its stale
+            # blocks and rejoins (§5).
+            mitigation = min(max_delay, mitigation_bound_s)
+            return compute_s + comm_s + mitigation, True
+        return compute_s + comm_s, False
+
+
+register_backend(IdealRingBackend())
+register_backend(RingStragglerBackend())
+register_backend(SwitchMLBackend())
+register_backend(TrioMLBackend())

@@ -1,0 +1,99 @@
+"""The pluggable collective-backend interface.
+
+A *collective backend* is one gradient-aggregation system — NCCL ring,
+SwitchML, Trio-ML, or anything a future experiment wants to plot — as a
+first-class object.  The training loop (:mod:`repro.ml.training`) and the
+harness sweeps are written against this interface only, so a new
+aggregation scheme is a ~100-line plugin:
+
+* :meth:`CollectiveBackend.allreduce_time_s` — the closed-form
+  communication-time model (how long one allreduce of ``model_bytes``
+  takes with ``num_workers`` workers, stragglers aside);
+* :meth:`CollectiveBackend.iteration_duration` — the system's straggler
+  semantics (what one iteration costs given the per-worker straggle
+  delays of that iteration);
+* :attr:`CollectiveBackend.injects_stragglers` — whether the system is
+  exposed to stragglers at all (the paper's Ideal baseline is plotted
+  with stragglers never injected, §6.1);
+* metadata (:attr:`name`, :attr:`display_name`, :attr:`description`,
+  :attr:`paper_ref`) for registries, tables, and figure legends.
+
+Backends are stateless: one shared instance per system lives in the
+registry (:mod:`repro.collectives.registry`) and is safe to use from any
+number of trainers or sweep processes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.ml.models import DNNModel
+
+__all__ = ["CollectiveBackend"]
+
+
+class CollectiveBackend(abc.ABC):
+    """One aggregation system's timing model and straggler semantics."""
+
+    #: Registry key (lowercase; :func:`repro.collectives.get_backend`
+    #: accepts any casing and resolves to this).
+    name: str = ""
+    #: Human-readable name for tables and figure legends.
+    display_name: str = ""
+    #: One-line description of what the backend models.
+    description: str = ""
+    #: Paper anchor (section/figure) the backend reproduces, if any.
+    paper_ref: str = ""
+    #: Whether straggle delays are sampled for this system at all.  The
+    #: paper's Ideal baseline is defined straggler-free (§6.1).
+    injects_stragglers: bool = True
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def allreduce_time_s(self, model_bytes: int, num_workers: int) -> float:
+        """Seconds to allreduce ``model_bytes`` across ``num_workers``
+        workers, stragglers aside (the closed-form model of §6.2)."""
+
+    def typical_iteration_s(self, model: "DNNModel",
+                            num_workers: int) -> float:
+        """Iteration time with no stragglers under this backend:
+        GPU compute plus one allreduce."""
+        return model.compute_time_s + self.allreduce_time_s(
+            model.size_bytes, num_workers
+        )
+
+    # ------------------------------------------------------------------
+    # Straggler semantics
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def iteration_duration(
+        self,
+        compute_s: float,
+        comm_s: float,
+        delays: Dict[int, float],
+        mitigation_bound_s: float = 0.0,
+    ) -> Tuple[float, bool]:
+        """One iteration's wall time under this system's semantics.
+
+        ``compute_s`` is this iteration's GPU compute time, ``comm_s``
+        the allreduce time (normally :meth:`allreduce_time_s`, hoisted
+        out of the loop by the trainer), and ``delays`` maps straggling
+        worker index to its extra delay in seconds (empty when nobody
+        straggles).  ``mitigation_bound_s`` is the maximum extra wait a
+        straggler can impose on systems that detect and age out missing
+        contributions (ignored by systems without mitigation).
+
+        Returns ``(duration_s, mitigated)`` where ``mitigated`` is True
+        when the system's straggler mitigation actually engaged.
+        """
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

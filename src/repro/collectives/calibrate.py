@@ -1,0 +1,299 @@
+"""Calibration bridge: derive the closed-form goodput constants from the
+packet level.
+
+The training-level experiments (Figures 12-13) use closed-form
+communication models whose goodput constants
+(:data:`repro.ml.allreduce.TRIOML_GOODPUT_BPS`,
+:data:`repro.ml.allreduce.SWITCHML_GOODPUT_BPS`) were hand-calibrated and
+documented as "sanity-checked against" the packet-level simulation.
+This module actually closes that loop: it *runs* the packet-level
+testbeds (Figures 14-16's ground truth) and derives the constants,
+asserting the hand values and the derived values agree within a declared
+band.
+
+Two regimes, matching §6.1's framing:
+
+* **Trio-ML is fabric-limited** in our model: 4 KB (1024-gradient)
+  packets keep the DPDK end host off the critical path, so the derived
+  goodput is the steady-state per-worker goodput measured on the
+  single-PFE testbed (:func:`repro.harness.testbed.build_single_pfe_testbed`)
+  at a deep window.
+* **SwitchML is client-limited**: its wire path (1 KB packets through
+  the four-pipeline Tofino chain) runs near line rate, but the
+  open-source DPDK client — per-packet framing plus the PyTorch
+  integration copies — caps the end-to-end goodput.  The derived value
+  serialises the measured per-packet wire time with a documented
+  per-packet client overhead (:data:`SWITCHML_CLIENT_OVERHEAD_S`).
+
+The hand constants remain the shipped defaults (so all figures stay
+bit-identical run to run); the calibration is a *consistency gate*, run
+from the test suite and ``python -m repro.collectives.calibrate``, and
+:func:`calibrated_backend` builds backend instances that use the derived
+numbers instead for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.collectives.base import CollectiveBackend
+from repro.collectives.backends import SwitchMLBackend, TrioMLBackend
+from repro.ml.allreduce import SWITCHML_GOODPUT_BPS, TRIOML_GOODPUT_BPS
+
+__all__ = [
+    "CALIBRATION_BAND",
+    "SWITCHML_CLIENT_OVERHEAD_S",
+    "CalibrationSpec",
+    "GoodputCalibration",
+    "calibrate",
+    "calibrated_backend",
+    "client_bound_goodput",
+    "main",
+    "measure_switchml_wire_goodput",
+    "measure_trioml_wire_goodput",
+    "render_calibration",
+]
+
+#: Maximum hand/derived disagreement the bridge tolerates, as a ratio.
+#: The two layers model different amounts of detail (the closed form has
+#: no ramp-up, no window self-clocking, no per-chunk pipelining), so
+#: exact agreement is not expected; a factor-1.8 band keeps them honest
+#: while the packet model stays the ground truth.
+CALIBRATION_BAND = 1.8
+
+#: Per-packet overhead of the open-source SwitchML DPDK client (framing
+#: plus the PyTorch integration copy), the documented reason the §6.1
+#: SwitchML goodput sits far below line rate.  250 ns/packet puts the
+#: 256-gradient client at ~24 Gbps against a near-line-rate wire.
+SWITCHML_CLIENT_OVERHEAD_S = 250e-9
+
+
+@dataclass(frozen=True)
+class CalibrationSpec:
+    """Sizing of the packet-level calibration runs.
+
+    Defaults are chosen to reach steady state (deep windows, enough
+    blocks to amortise ramp-up) while keeping the bridge fast enough to
+    run inside the test suite.  The runs are deterministic discrete-event
+    simulations, so the derived numbers are exactly reproducible.
+    """
+
+    num_workers: int = 4
+    #: Trio-ML run: §6.1's 1024-gradient (4 KB) packets.
+    trioml_grads_per_packet: int = 1024
+    trioml_window: int = 1024
+    trioml_blocks: int = 300
+    #: SwitchML run: SwitchML-256 across the four-pipeline chain.
+    switchml_grads_per_packet: int = 256
+    switchml_pool_size: int = 64
+    switchml_blocks: int = 256
+    switchml_client_overhead_s: float = SWITCHML_CLIENT_OVERHEAD_S
+    band: float = CALIBRATION_BAND
+
+
+@dataclass(frozen=True)
+class GoodputCalibration:
+    """One system's packet-derived goodput versus its hand constant."""
+
+    system: str
+    #: Steady-state per-worker goodput measured at packet level.
+    wire_goodput_bps: float
+    #: The constant the packet level implies for the closed form (equal
+    #: to the wire goodput for fabric-limited systems; client-bound for
+    #: SwitchML).
+    derived_goodput_bps: float
+    #: The hand-calibrated constant the backend ships with.
+    default_goodput_bps: float
+    band: float = CALIBRATION_BAND
+
+    @property
+    def ratio(self) -> float:
+        """hand / derived — 1.0 means the layers agree exactly."""
+        return self.default_goodput_bps / self.derived_goodput_bps
+
+    @property
+    def within_band(self) -> bool:
+        return 1.0 / self.band <= self.ratio <= self.band
+
+
+def measure_trioml_wire_goodput(spec: Optional[CalibrationSpec] = None
+                                ) -> float:
+    """Per-worker goodput (bps) of the packet-level Trio-ML testbed.
+
+    Runs the §6.3 single-PFE topology end to end — worker encode, NIC
+    and link transport, PPE dispatch, hash lookup, RMW aggregation,
+    result multicast — and reports model bits sent per worker divided by
+    completion time.
+    """
+    from repro.harness.testbed import build_single_pfe_testbed
+    from repro.sim import Environment
+    from repro.trioml.config import TrioMLJobConfig
+
+    spec = spec or CalibrationSpec()
+    env = Environment()
+    config = TrioMLJobConfig(
+        grads_per_packet=spec.trioml_grads_per_packet,
+        window=spec.trioml_window,
+    )
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=spec.num_workers
+    )
+    vector = [1] * (spec.trioml_grads_per_packet * spec.trioml_blocks)
+    procs = testbed.run_allreduce([vector] * spec.num_workers)
+    env.run(until=env.all_of(procs))
+    bits_per_worker = len(vector) * 32
+    return bits_per_worker / env.now
+
+
+def measure_switchml_wire_goodput(spec: Optional[CalibrationSpec] = None
+                                  ) -> float:
+    """Per-worker goodput (bps) of the packet-level SwitchML baseline.
+
+    Runs SwitchML-256 on the PISA/Tofino model (the four-pipeline chain
+    of §6.1) with self-clocking workers and reports model bits per
+    worker divided by completion time — the *wire* capability, before
+    the DPDK client bottleneck.
+    """
+    from repro.net import IPv4Address, MACAddress, Topology
+    from repro.sim import Environment
+    from repro.switchml import SwitchMLWorker
+    from repro.switchml.switch import SwitchMLJob, build_switchml_switch
+
+    spec = spec or CalibrationSpec()
+    env = Environment()
+    job = SwitchMLJob(
+        num_workers=spec.num_workers,
+        pool_size=spec.switchml_pool_size,
+        grads_per_packet=spec.switchml_grads_per_packet,
+    )
+    if spec.switchml_grads_per_packet > 64:
+        job.chain = [0, 1, 2, 3]
+    switch, __ = build_switchml_switch(env, job)
+    topology = Topology(env)
+    workers = []
+    for index in range(spec.num_workers):
+        ip = IPv4Address(f"10.0.0.{index + 1}")
+        mac = MACAddress(index + 1)
+        job.add_worker(index, ip, mac)
+        worker = SwitchMLWorker(env, f"w{index}", index, job, mac, ip)
+        topology.connect(worker.nic.port, switch.port(0, index))
+        switch.add_route(ip, switch.port(0, index).name)
+        workers.append(worker)
+    vector = [1] * (spec.switchml_grads_per_packet * spec.switchml_blocks)
+    procs = [env.process(w.allreduce(vector)) for w in workers]
+    env.run(until=env.all_of(procs))
+    bits_per_worker = len(vector) * 32
+    return bits_per_worker / env.now
+
+
+def client_bound_goodput(wire_goodput_bps: float, payload_bits: int,
+                         client_overhead_s: float) -> float:
+    """Effective goodput when a per-packet client overhead serialises
+    with the wire time of each packet."""
+    wire_time_s = payload_bits / wire_goodput_bps
+    return payload_bits / (wire_time_s + client_overhead_s)
+
+
+def calibrate(spec: Optional[CalibrationSpec] = None
+              ) -> Dict[str, GoodputCalibration]:
+    """Run both packet-level calibrations; returns one record per
+    in-network system, keyed by backend name."""
+    spec = spec or CalibrationSpec()
+    trioml_wire = measure_trioml_wire_goodput(spec)
+    switchml_wire = measure_switchml_wire_goodput(spec)
+    switchml_derived = client_bound_goodput(
+        switchml_wire,
+        spec.switchml_grads_per_packet * 32,
+        spec.switchml_client_overhead_s,
+    )
+    return {
+        "trioml": GoodputCalibration(
+            system="trioml",
+            wire_goodput_bps=trioml_wire,
+            derived_goodput_bps=trioml_wire,
+            default_goodput_bps=TRIOML_GOODPUT_BPS,
+            band=spec.band,
+        ),
+        "switchml": GoodputCalibration(
+            system="switchml",
+            wire_goodput_bps=switchml_wire,
+            derived_goodput_bps=switchml_derived,
+            default_goodput_bps=SWITCHML_GOODPUT_BPS,
+            band=spec.band,
+        ),
+    }
+
+
+def calibrated_backend(name: str,
+                       calibrations: Optional[
+                           Dict[str, GoodputCalibration]] = None,
+                       spec: Optional[CalibrationSpec] = None
+                       ) -> CollectiveBackend:
+    """A backend instance whose goodput is the packet-derived value.
+
+    Pass the result of :func:`calibrate` to avoid re-running the packet
+    simulations.  The instance is *not* registered; callers exploring
+    sensitivity can ``register_backend(..., replace=True)`` or register
+    it under a new name (e.g. ``trioml-calibrated``) themselves.
+    """
+    calibrations = calibrations or calibrate(spec)
+    factories = {"trioml": TrioMLBackend, "switchml": SwitchMLBackend}
+    if name not in factories:
+        raise ValueError(
+            f"no calibrated variant for {name!r}; available: "
+            f"{', '.join(sorted(factories))}"
+        )
+    backend = factories[name](
+        goodput_bps=calibrations[name].derived_goodput_bps
+    )
+    return backend
+
+
+def render_calibration(calibrations: Dict[str, GoodputCalibration]) -> str:
+    """The calibration report table."""
+    lines = [
+        "Calibration bridge: packet-level derived vs closed-form goodputs",
+        "-" * 72,
+        f"{'system':<10} {'wire Gbps':>10} {'derived Gbps':>13} "
+        f"{'hand Gbps':>10} {'hand/derived':>13}  band",
+    ]
+    for record in calibrations.values():
+        status = "ok" if record.within_band else "OUT OF BAND"
+        lines.append(
+            f"{record.system:<10} {record.wire_goodput_bps / 1e9:>10.2f} "
+            f"{record.derived_goodput_bps / 1e9:>13.2f} "
+            f"{record.default_goodput_bps / 1e9:>10.2f} "
+            f"{record.ratio:>12.2f}x  [{1 / record.band:.2f}x, "
+            f"{record.band:.2f}x] {status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.collectives.calibrate",
+        description="Derive the closed-form goodput constants from the "
+                    "packet-level testbeds and check the calibration "
+                    "band.",
+    )
+    parser.add_argument(
+        "--werror", action="store_true",
+        help="exit non-zero when any system falls outside the band",
+    )
+    args = parser.parse_args(argv)
+    calibrations = calibrate()
+    print(render_calibration(calibrations))
+    out_of_band = [c.system for c in calibrations.values()
+                   if not c.within_band]
+    if out_of_band:
+        print(f"\nout of band: {', '.join(out_of_band)}", file=sys.stderr)
+        return 1 if args.werror else 0
+    print("\nall systems within the calibration band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

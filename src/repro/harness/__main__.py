@@ -67,6 +67,16 @@ def _run_fig16(fast: bool, chart: bool = False, parallel=None) -> str:
     return rendered
 
 
+def _run_backends(parallel=None) -> str:
+    return figures.render_backend_sweep(exp.backend_sweep(parallel=parallel))
+
+
+def _run_calibrate() -> str:
+    from repro.collectives.calibrate import calibrate, render_calibration
+
+    return render_calibration(calibrate())
+
+
 def _run_analysis() -> str:
     return figures.render_program_analysis(exp.microcode_program_analysis())
 
@@ -122,6 +132,8 @@ def build_registry(fast: bool, chart: bool = False, parallel=None
         "fig14": partial(_run_fig14, fast, parallel=parallel),
         "fig15": partial(_run_fig15, fast, parallel=parallel),
         "fig16": partial(_run_fig16, fast, chart, parallel=parallel),
+        "backends": partial(_run_backends, parallel=parallel),
+        "calibrate": _run_calibrate,
         "analysis": _run_analysis,
         "ablations": partial(_run_ablations, fast),
         "generations": partial(_run_generations, fast, parallel=parallel),

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.collectives import available_backends
 from repro.ml.accuracy import AccuracyCurve
 from repro.ml.models import DNNModel, MODEL_ZOO
 from repro.ml.training import DataParallelTrainer, TrainingConfig
@@ -30,6 +31,7 @@ from repro.harness.testbed import (
 )
 
 __all__ = [
+    "BackendSweepRow",
     "Fig12Result",
     "Fig13Row",
     "Fig14Row",
@@ -40,6 +42,7 @@ __all__ = [
     "ablation_rmw_offload",
     "ablation_scan_threads",
     "ablation_tail_chunk",
+    "backend_sweep",
     "fig12_time_to_accuracy",
     "fig13_iteration_time",
     "fig14_mitigation",
@@ -224,6 +227,63 @@ def fig13_iteration_time(
     for (key, *_), row in zip(points, rows):
         results.setdefault(key, []).append(row)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Backend sweep: Figure 13 generalised over the collective registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendSweepRow:
+    """Average iteration time of every swept backend at one probability."""
+
+    probability: float
+    #: backend name -> mean iteration time (ms).
+    iteration_ms: Dict[str, float]
+
+
+def _backend_sweep_point(
+    args: Tuple[str, float, int, int, Tuple[str, ...]]
+) -> BackendSweepRow:
+    """One probability point of the registry-wide backend sweep."""
+    key, probability, iterations, seed, systems = args
+    model = MODEL_ZOO[key]
+    iteration_ms: Dict[str, float] = {}
+    for system in systems:
+        trainer = DataParallelTrainer(
+            TrainingConfig(
+                model=model,
+                system=system,
+                straggle_probability=probability,
+                seed=seed,
+            )
+        )
+        iteration_ms[system] = trainer.average_iteration_s(iterations) * 1e3
+    return BackendSweepRow(probability=probability, iteration_ms=iteration_ms)
+
+
+def backend_sweep(
+    model: str = "resnet50",
+    probabilities: Sequence[float] = FIG13_PROBABILITIES,
+    systems: Optional[Sequence[str]] = None,
+    iterations: int = 100,
+    seed: int = 0,
+    parallel: Optional[int] = None,
+) -> List[BackendSweepRow]:
+    """Figure 13's sweep generalised over the collective-backend registry.
+
+    By default every registered backend is a series — including ones the
+    paper does not plot (e.g. ``ring-straggler``), which is how a new
+    plugin becomes a figure without touching the harness.  Pass
+    ``systems`` to sweep a subset.
+    """
+    systems = tuple(systems) if systems else available_backends()
+    points = [
+        (model, probability, iterations, seed, systems)
+        for probability in probabilities
+    ]
+    return _map_points(_backend_sweep_point, points, parallel)
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ from typing import Dict, List, Sequence
 from repro.harness import experiments as exp
 
 __all__ = [
+    "render_backend_sweep",
     "render_table1",
     "render_fig12",
     "render_fig13",
@@ -69,6 +70,31 @@ def render_fig13(results: Dict[str, List["exp.Fig13Row"]]) -> str:
                 f"{row.trioml_ms:>14.1f}{row.switchml_ms:>15.1f}"
                 f"{row.speedup:>9.2f}x"
             )
+    return "\n".join(lines)
+
+
+def render_backend_sweep(rows: List["exp.BackendSweepRow"],
+                         model: str = "resnet50") -> str:
+    """One column per registered backend, one row per probability."""
+    from repro.collectives import get_backend
+
+    systems = list(rows[0].iteration_ms) if rows else []
+    width = max(14, *(len(get_backend(s).display_name) + 2
+                      for s in systems)) if systems else 14
+    lines = [
+        "Backend sweep: iteration time (ms) vs straggling probability "
+        f"[{model}]",
+        _rule(max(72, 6 + width * len(systems))),
+        f"{'p':>6}" + "".join(
+            f"{get_backend(s).display_name:>{width}}" for s in systems
+        ),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.probability * 100:>5.0f}%" + "".join(
+                f"{row.iteration_ms[s]:>{width}.1f}" for s in systems
+            )
+        )
     return "\n".join(lines)
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "bench_timeout_path",
     "bench_packet_path",
     "bench_figure_sweep",
+    "bench_trainer_loop",
     "collect",
     "check",
     "main",
@@ -197,6 +198,35 @@ def bench_figure_sweep(blocks: int = 100,
     return {"cpu_s": best, "scheduled_events": events, "blocks": blocks}
 
 
+def bench_trainer_loop(iterations: int = 100_000,
+                       repeats: int = 5) -> float:
+    """Iterations/s of the data-parallel training hot loop.
+
+    Runs :meth:`repro.ml.training.DataParallelTrainer.run` under the
+    ``trioml`` collective backend with the Figure 13 worst-case straggle
+    probability (p = 16%), so each iteration pays the full path: compute
+    sampling, straggle-pattern draws, and the backend's
+    ``iteration_duration`` dispatch.  Guards the registry refactor — the
+    loop went from inlined if/else arms to a backend method call, and
+    this number is the budget that dispatch must live within.
+    """
+    from repro.ml.models import MODEL_ZOO
+    from repro.ml.training import DataParallelTrainer, TrainingConfig
+
+    def once() -> float:
+        config = TrainingConfig(
+            model=MODEL_ZOO["resnet50"], system="trioml",
+            straggle_probability=0.16, seed=0,
+        )
+        trainer = DataParallelTrainer(config)
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        trainer.run(iterations)
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return iterations / elapsed
+
+    return _best_of(once, repeats)
+
+
 def collect(quick: bool = False) -> Dict:
     """Measure everything and return the BENCH_kernel.json document."""
     scale = 4 if quick else 1
@@ -206,6 +236,8 @@ def collect(quick: bool = False) -> Dict:
                                  repeats=3 if quick else 5)
     packet = bench_packet_path(blocks=150 // scale,
                                repeats=2 if quick else 3)
+    trainer = bench_trainer_loop(iterations=25_000 if quick else 100_000,
+                                 repeats=3 if quick else 5)
     fig15 = bench_figure_sweep(blocks=20 if quick else 100,
                                repeats=2 if quick else 3)
     doc = {
@@ -220,6 +252,9 @@ def collect(quick: bool = False) -> Dict:
             "events_per_s": round(packet["events_per_s"]),
             "packets": packet["packets"],
             "scheduled_events": packet["scheduled_events"],
+        },
+        "trainer": {
+            "iterations_per_s": round(trainer),
         },
         "fig15_sweep": {
             "cpu_s": round(fig15["cpu_s"], 4),
@@ -251,16 +286,20 @@ def check(path: Path, quick: bool = True) -> int:
     """
     committed = json.loads(path.read_text())
     current = collect(quick=quick)
+    checks = [("kernel", "delay_events_per_s"),
+              ("kernel", "timeout_events_per_s")]
+    if "trainer" in committed:
+        checks.append(("trainer", "iterations_per_s"))
     failures = []
-    for key in ("delay_events_per_s", "timeout_events_per_s"):
-        old = committed["kernel"][key]
-        new = current["kernel"][key]
+    for section, key in checks:
+        old = committed[section][key]
+        new = current[section][key]
         ratio = new / old if old else float("inf")
         status = "ok" if ratio >= REGRESSION_TOLERANCE else "REGRESSION"
-        print(f"{key}: committed {old:,.0f} measured {new:,.0f} "
+        print(f"{section}.{key}: committed {old:,.0f} measured {new:,.0f} "
               f"({ratio:.2f}x) {status}")
         if ratio < REGRESSION_TOLERANCE:
-            failures.append(key)
+            failures.append(f"{section}.{key}")
     if failures:
         print(f"FAIL: >{(1 - REGRESSION_TOLERANCE):.0%} regression in: "
               + ", ".join(failures))

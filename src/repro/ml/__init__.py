@@ -10,7 +10,8 @@
   allreduce (the Ideal baseline), SwitchML, and Trio-ML in-network
   aggregation.
 * :mod:`repro.ml.training` — the data-parallel training loop producing
-  per-iteration timings under each system's semantics.
+  per-iteration timings under each system's semantics, resolved through
+  the pluggable :mod:`repro.collectives` backend registry.
 * :mod:`repro.ml.accuracy` — validation-accuracy curves and
   time-to-accuracy computation.
 """

@@ -4,8 +4,10 @@ These closed-form models drive the training-level experiments (Figures 12
 and 13), where simulating every one of the ~25 M gradient packets of a
 ResNet50 iteration at packet level is infeasible.  Constants are either
 from the testbed description (100 Gbps links) or calibrated goodputs
-documented below; the *packet-level* Trio-ML path (Figures 14–16) is the
-ground truth the Trio goodput is sanity-checked against.
+documented below; the *packet-level* simulations (Figures 14–16) are the
+ground truth, and :mod:`repro.collectives.calibrate` derives the goodput
+constants from them and asserts the hand values below stay within the
+calibration band (``python -m repro.collectives.calibrate``).
 """
 
 from __future__ import annotations

@@ -1,9 +1,13 @@
-"""Data-parallel training loop with per-system straggler semantics.
+"""Data-parallel training loop over pluggable collective backends.
 
 Each iteration every worker computes for ``model.compute_time_s`` plus any
-straggle delays, then the gradients are aggregated:
+straggle delays, then the gradients are aggregated.  *Which* aggregation
+system runs — and what a straggler costs under it — is entirely the
+:class:`repro.collectives.CollectiveBackend` resolved from
+``TrainingConfig.system``; the loop itself has no per-system branches.
+The paper's three systems (§6.1):
 
-* **Ideal** — NCCL ring allreduce, stragglers never injected (§6.1):
+* **Ideal** — NCCL ring allreduce, stragglers never injected:
   ``iteration = compute + ring_time``.
 * **SwitchML** — the slot completes only when every worker contributes,
   so the whole job waits for the slowest worker:
@@ -17,6 +21,11 @@ straggle delays, then the gradients are aggregated:
 The mitigation bound defaults to 1.5× the detection timeout — the mean of
 the [1×, 2×] detection window the timer-thread scheme guarantees — and
 can be set from packet-level measurements.
+
+New systems plug in through the registry (see
+:func:`repro.collectives.register_backend`); anything registered is
+immediately usable as a ``TrainingConfig.system`` value and shows up in
+the harness sweeps.
 """
 
 from __future__ import annotations
@@ -25,22 +34,21 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.ml.allreduce import (
-    ideal_allreduce_time,
-    switchml_allreduce_time,
-    trioml_allreduce_time,
-)
+from repro.collectives import CollectiveBackend, get_backend
 from repro.ml.models import DNNModel
 from repro.ml.stragglers import SlowWorkerPattern
 
 __all__ = ["DataParallelTrainer", "IterationRecord", "TrainingConfig"]
 
-SYSTEMS = ("ideal", "switchml", "trioml")
-
 
 @dataclass
 class TrainingConfig:
-    """One training run's setup (§6.1 defaults)."""
+    """One training run's setup (§6.1 defaults).
+
+    ``system`` is resolved case-insensitively against the collective-
+    backend registry and normalised to the backend's canonical name;
+    anything :func:`repro.collectives.available_backends` lists is valid.
+    """
 
     model: DNNModel
     system: str
@@ -57,10 +65,9 @@ class TrainingConfig:
     compute_jitter: float = 0.0
 
     def __post_init__(self):
-        if self.system not in SYSTEMS:
-            raise ValueError(
-                f"unknown system {self.system!r}; expected one of {SYSTEMS}"
-            )
+        # Raises UnknownBackendError (a ValueError) with the live list
+        # of registered backends on a bad name.
+        self.system = get_backend(self.system).name
         if self.num_workers < 2:
             raise ValueError("need at least two workers for allreduce")
         if self.compute_jitter < 0.0:
@@ -69,18 +76,20 @@ class TrainingConfig:
             )
 
     @property
+    def backend(self) -> CollectiveBackend:
+        """The collective backend this run aggregates through."""
+        return get_backend(self.system)
+
+    @property
     def typical_iteration_s(self) -> float:
         """Iteration time with no stragglers under this system."""
-        return self.model.compute_time_s + self.allreduce_time_s
+        return self.backend.typical_iteration_s(self.model, self.num_workers)
 
     @property
     def allreduce_time_s(self) -> float:
-        model_bytes = self.model.size_bytes
-        if self.system == "ideal":
-            return ideal_allreduce_time(model_bytes, self.num_workers)
-        if self.system == "switchml":
-            return switchml_allreduce_time(model_bytes)
-        return trioml_allreduce_time(model_bytes)
+        return self.backend.allreduce_time_s(
+            self.model.size_bytes, self.num_workers
+        )
 
 
 @dataclass
@@ -98,7 +107,7 @@ class IterationRecord:
 
 
 class DataParallelTrainer:
-    """Runs iterations under one system's aggregation semantics."""
+    """Runs iterations under one backend's aggregation semantics."""
 
     def __init__(self, config: TrainingConfig, env=None):
         """``env``: optionally derive all random streams from a
@@ -106,14 +115,13 @@ class DataParallelTrainer:
         instead of ``config.seed`` directly, so one simulation-wide seed
         controls both packet-level and training-loop randomness."""
         self.config = config
+        self.backend = config.backend
         # The straggle magnitude is relative to the model's *typical*
-        # iteration time (§6.1), which we take from the Ideal system so
-        # all three systems face identically distributed slowdowns.
-        ideal = TrainingConfig(
-            model=config.model, system="ideal",
-            num_workers=config.num_workers,
+        # iteration time (§6.1), which we take from the Ideal backend so
+        # every system faces identically distributed slowdowns.
+        self._typical_s = get_backend("ideal").typical_iteration_s(
+            config.model, config.num_workers
         )
-        self._typical_s = ideal.typical_iteration_s
         if env is not None:
             pattern_rng = env.rng_stream(f"straggle/{config.seed}")
             self._compute_rng = env.rng_stream(f"compute/{config.seed}")
@@ -136,42 +144,27 @@ class DataParallelTrainer:
     def run(self, num_iterations: int) -> List[IterationRecord]:
         """Simulate ``num_iterations``; returns (and stores) the records."""
         config = self.config
+        backend = self.backend
         jitter = config.compute_jitter
         comm = config.allreduce_time_s
+        bound = self.mitigation_bound_s
+        injects = backend.injects_stragglers
+        iteration_duration = backend.iteration_duration
+        sample_compute = config.model.sample_compute_time
+        sample_delays = self.pattern.sample_iteration
         records = []
         for index in range(num_iterations):
-            compute = config.model.sample_compute_time(
-                self._compute_rng, jitter
+            compute = sample_compute(self._compute_rng, jitter)
+            delays: Dict[int, float] = sample_delays() if injects else {}
+            duration, mitigated = iteration_duration(
+                compute, comm, delays, mitigation_bound_s=bound
             )
-            if config.system == "ideal":
-                delays: Dict[int, float] = {}
-            else:
-                delays = self.pattern.sample_iteration()
-            max_delay = max(delays.values(), default=0.0)
-            mitigated = False
-            if config.system == "switchml":
-                # Every slot needs every worker: the job absorbs the
-                # slowest worker's full delay.
-                duration = compute + max_delay + comm
-            elif config.system == "trioml":
-                if max_delay > 0:
-                    # Straggling blocks age out; everyone else proceeds
-                    # after the detection bound.  The straggler drops its
-                    # stale blocks and rejoins (§5).
-                    mitigation = min(max_delay, self.mitigation_bound_s)
-                    duration = compute + comm + mitigation
-                    mitigated = True
-                else:
-                    duration = compute + comm
-            else:
-                duration = compute + comm
-            record = IterationRecord(
+            records.append(IterationRecord(
                 index=index,
                 duration_s=duration,
                 straggle_delays=delays,
                 mitigated=mitigated,
-            )
-            records.append(record)
+            ))
         self.records.extend(records)
         return records
 

@@ -55,12 +55,27 @@ def test_check_improvement_always_passes(tmp_path, measured):
     assert perfjson.check(committed) == 0
 
 
+def test_check_guards_trainer_entry(tmp_path, monkeypatch, capsys):
+    """A committed trainer.iterations_per_s is regression-checked too."""
+    committed_doc = _fake_doc(1_000_000, 1_000_000)
+    committed_doc["trainer"] = {"iterations_per_s": 300_000}
+    committed = tmp_path / "bench.json"
+    committed.write_text(json.dumps(committed_doc))
+    measured_doc = _fake_doc(1_000_000, 1_000_000)
+    measured_doc["trainer"] = {"iterations_per_s": 100_000}  # -67%
+    monkeypatch.setattr(perfjson, "collect",
+                        lambda quick=False: measured_doc)
+    assert perfjson.check(committed) == 1
+    assert "trainer.iterations_per_s" in capsys.readouterr().out
+
+
 def test_collect_quick_schema():
     doc = perfjson.collect(quick=True)
     assert doc["schema"] == perfjson.SCHEMA
     assert doc["kernel"]["delay_events_per_s"] > 0
     assert doc["kernel"]["timeout_events_per_s"] > 0
     assert doc["macro"]["packets_per_s"] > 0
+    assert doc["trainer"]["iterations_per_s"] > 0
     assert doc["fig15_sweep"]["scheduled_events"] > 0
     assert set(doc["seed_baseline"]) == {
         "delay_events_per_s", "timeout_events_per_s", "fig15_cpu_s",
