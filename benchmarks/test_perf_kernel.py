@@ -107,3 +107,31 @@ def test_fig15_driver_parallel_matches_serial():
     assert fig15_latency_rate(blocks=3) == fig15_latency_rate(
         blocks=3, parallel=2
     )
+
+def test_disabled_obs_probe_under_ceiling():
+    """The zero-overhead contract: a disabled ``obs.probe`` is a global
+    load plus a no-op method call.  The absolute ceiling is generous
+    (tens of ns measured vs a 2000 ns bound) so box noise cannot trip
+    it, but a de-nulled dispatch path — recording while "disabled" —
+    jumps 10-100x and fails immediately."""
+    stats = perfjson.bench_obs_overhead(calls=200_000, repeats=3)
+    for key in ("null_probe_ns", "null_probe_fields_ns"):
+        assert stats[key] <= perfjson.OBS_PROBE_NS_CEILING, (
+            f"disabled obs.probe ({key}) costs {stats[key]:.0f} ns/call, "
+            f"above the {perfjson.OBS_PROBE_NS_CEILING:.0f} ns ceiling"
+        )
+
+
+def test_disabled_obs_keeps_kernel_throughput():
+    """Observability wiring must not tax the disabled hot loop: the
+    observed-run variant lives in a separate ``_run_observed`` body, so
+    the only disabled-mode cost is one ``enabled()`` check per
+    ``env.run()`` call.  Reuses the delay-path floor as the budget."""
+    from repro.obs import bus
+
+    assert not bus.enabled()
+    rate = _sustained(perfjson.bench_delay_path, MIN_DELAY_EVENTS_PER_S)
+    assert rate >= MIN_DELAY_EVENTS_PER_S, (
+        f"delay path with obs wiring sustained {rate:,.0f} events/s, "
+        f"below the {MIN_DELAY_EVENTS_PER_S:,} floor"
+    )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.net.headers import HeaderError
+from repro.obs import bus as _obs
 from repro.trio.counters import PacketByteCounter, Policer
 from repro.trio.pfe import PFE, TrioApplication
 from repro.trio.ppe import PacketContext, ThreadContext
@@ -101,12 +102,26 @@ class DDoSMitigator(TrioApplication):
     def on_install(self, pfe: PFE) -> None:
         self.pfe = pfe
         self.blocked_counter = PacketByteCounter(pfe.memory)
+        if _obs.enabled():
+            _obs.register_collector(self._obs_collect)
         pfe.timers.launch_periodic(
             name="ddos-review",
             num_threads=self.review_threads,
             period_s=self.review_period_s,
             callback=self._review,
         )
+
+    def _obs_collect(self, registry) -> None:
+        """Export the mitigator's counters (runs once at finalize)."""
+        packets = registry.counter(
+            "apps.security.packets", "packets seen by the defence",
+            ("outcome",))
+        packets.inc(self.packets_blocked, outcome="blocked")
+        packets.inc(self.packets_policed, outcome="policed")
+        registry.gauge(
+            "apps.security.blocked_sources",
+            "sources on the blocklist at finalize"
+        ).set(len(self.blocked_sources))
 
     # ------------------------------------------------------------------
     # Data path
@@ -179,6 +194,7 @@ class DDoSMitigator(TrioApplication):
                         BlockEvent(time=now, source_ip=source,
                                    strikes=state.strikes, action="block")
                     )
+                    self._obs_block_event(now, source, "block")
                 continue
             # No offence this interval.  A blocked source whose REF flag
             # stays clear for several consecutive intervals has gone
@@ -198,6 +214,15 @@ class DDoSMitigator(TrioApplication):
                     BlockEvent(time=now, source_ip=source,
                                strikes=0, action="unblock")
                 )
+                self._obs_block_event(now, source, "unblock")
+
+    @staticmethod
+    def _obs_block_event(now: float, source: int, action: str) -> None:
+        obs = _obs.session()
+        if obs is not None:
+            obs.probe("apps.security.block_events", action=action)
+            obs.instant(f"{action} {source:#010x}", now,
+                        track="apps/security")
 
     @property
     def blocked_sources(self) -> List[int]:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.net.headers import HeaderError
+from repro.obs import bus as _obs
 from repro.trio.counters import PacketByteCounter
 from repro.trio.pfe import PFE, TrioApplication
 from repro.trio.ppe import PacketContext, ThreadContext
@@ -85,12 +86,25 @@ class TelemetryMonitor(TrioApplication):
 
     def on_install(self, pfe: PFE) -> None:
         self.pfe = pfe
+        if _obs.enabled():
+            _obs.register_collector(self._obs_collect)
         pfe.timers.launch_periodic(
             name="telemetry-sweep",
             num_threads=self.scan_threads,
             period_s=self.scan_period_s,
             callback=self._sweep,
         )
+
+    def _obs_collect(self, registry) -> None:
+        """Export the monitor's counters (runs once at finalize)."""
+        flows = registry.counter(
+            "apps.telemetry.flows", "flow-table transitions", ("event",))
+        flows.inc(self.flows_tracked, event="tracked")
+        flows.inc(self.flows_retired, event="retired")
+        flows.inc(self.flows_dropped_capacity, event="dropped_capacity")
+        registry.gauge(
+            "apps.telemetry.reports", "heavy-hitter reports exported"
+        ).set(len(self.reports))
 
     # ------------------------------------------------------------------
     # Data path
@@ -152,6 +166,11 @@ class TelemetryMonitor(TrioApplication):
                         packets_per_s=rate,
                     )
                 )
+                obs = _obs.session()
+                if obs is not None:
+                    obs.probe("apps.telemetry.reports_exported")
+                    obs.instant("heavy-hitter", now, track="apps/telemetry",
+                                packets_per_s=rate)
             stats.last_packets = packets
             stats.last_bytes = nbytes
             if record.ref_flag:

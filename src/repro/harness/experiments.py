@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.collectives import available_backends
 from repro.ml.accuracy import AccuracyCurve
+from repro.obs import bus as _obs
 from repro.ml.models import DNNModel, MODEL_ZOO
 from repro.ml.training import DataParallelTrainer, TrainingConfig
 from repro.sim import Environment, Resource
@@ -51,6 +52,7 @@ __all__ = [
     "generation_scaling",
     "loss_recovery_sweep",
     "microcode_program_analysis",
+    "profile_dataplane_slice",
     "table1_models",
 ]
 
@@ -72,6 +74,9 @@ def _map_points(worker: Callable, points: Sequence,
     serial runs agree under any multiprocessing start method.
     """
     points = list(points)
+    parent = _obs.session()
+    if parent is not None:
+        return _map_points_observed(worker, points, parallel, parent)
     if not parallel or parallel <= 1 or len(points) <= 1:
         return [worker(point) for point in points]
     from concurrent.futures import ProcessPoolExecutor
@@ -84,6 +89,39 @@ def _map_points(worker: Callable, points: Sequence,
         initargs=(default_seed(),),
     ) as pool:
         return list(pool.map(worker, points))
+
+
+def _map_points_observed(worker: Callable, points: List,
+                         parallel: Optional[int],
+                         parent: "_obs.ObsSession") -> List:
+    """``_map_points`` under an active obs session.
+
+    Each point runs in a fresh scoped session (serial: nested on the
+    stack; parallel: the only session in its worker process) and returns
+    ``(result, export)``; the parent merges the exports in point order.
+    Both modes execute the identical enable-run-export sequence per
+    point, so the merged snapshot is bit-identical serial vs parallel.
+    """
+    captured = _obs.CapturedWorker(worker)
+    indexed = list(enumerate(points))
+    if not parallel or parallel <= 1 or len(points) <= 1:
+        pairs = [captured(item) for item in indexed]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sim import default_seed, set_default_seed
+
+        with ProcessPoolExecutor(
+            max_workers=min(parallel, len(points)),
+            initializer=set_default_seed,
+            initargs=(default_seed(),),
+        ) as pool:
+            pairs = list(pool.map(captured, indexed))
+    results = []
+    for result, exported in pairs:
+        parent.merge(exported)
+        results.append(result)
+    return results
 #: Gradient-per-packet sweep of Figure 15.
 FIG15_GRAD_COUNTS = (64, 128, 256, 512, 1024)
 #: Window sweep of Figure 16.
@@ -798,3 +836,47 @@ def ablation_tail_chunk(
             )
         )
     return rows
+
+# ---------------------------------------------------------------------------
+# Profiling slice: a data-plane run that exercises every probe family
+# ---------------------------------------------------------------------------
+
+
+def profile_dataplane_slice(
+    blocks: int = 6,
+    grads_per_packet: int = 256,
+    timeout_ms: float = 2.5,
+    detector_threads: int = 8,
+) -> Dict[str, float]:
+    """A small Figure-14-shaped run for the ``profile`` harness mode.
+
+    Some experiments (Figures 12–13) never touch the packet-level
+    testbed, so a profile of them alone would carry no PPE, RMW, or
+    block-lifecycle tracks.  This slice guarantees them: one PFE, four
+    workers, the straggler detector on, and only three workers sending —
+    every block ages out, so the trace shows dispatch, PPE occupancy,
+    RMW engine activity, hash scans, block create/complete spans, and
+    mitigation instants.
+    """
+    env = Environment()
+    config = TrioMLJobConfig(
+        grads_per_packet=grads_per_packet,
+        window=blocks,
+        timeout_s=timeout_ms / 1e3,
+        detector_threads=detector_threads,
+    )
+    testbed = build_single_pfe_testbed(
+        env, config, num_workers=4, with_detector=True
+    )
+    vector = [1] * (grads_per_packet * blocks)
+    senders = testbed.workers[:3]  # server 4 is the straggler
+    procs = [env.process(w.allreduce(vector)) for w in senders]
+    env.run(until=env.all_of(procs))
+    return {
+        "simulated_s": env.now,
+        "scheduled_events": float(env.scheduled_events),
+        "blocks_mitigated": float(sum(
+            len(detector.mitigations)
+            for detector in testbed.handle.detectors.values()
+        )),
+    }

@@ -39,7 +39,9 @@ __all__ = [
     "bench_timeout_path",
     "bench_packet_path",
     "bench_figure_sweep",
+    "bench_obs_overhead",
     "bench_trainer_loop",
+    "OBS_PROBE_NS_CEILING",
     "collect",
     "check",
     "main",
@@ -51,6 +53,13 @@ DEFAULT_OUTPUT = "BENCH_kernel.json"
 #: ``--check`` fails when a measured events/s figure drops below this
 #: fraction of the committed number (i.e. a >30% regression).
 REGRESSION_TOLERANCE = 0.70
+
+#: Absolute ceiling on one *disabled* ``obs.probe`` call, in
+#: nanoseconds.  The null-sink fast path is a global load plus a no-op
+#: method call — tens of ns on any box — so an absolute bound is immune
+#: to CI noise while still catching the failure it guards against: a
+#: de-nulled dispatch path (recording when it shouldn't) jumps 10–100x.
+OBS_PROBE_NS_CEILING = 2000.0
 
 #: Seed-tree numbers measured on the same box immediately before the
 #: fast-path work landed (same methodology as below; the figure sweep
@@ -227,6 +236,45 @@ def bench_trainer_loop(iterations: int = 100_000,
     return _best_of(once, repeats)
 
 
+def bench_obs_overhead(calls: int = 1_000_000,
+                       repeats: int = 5) -> Dict[str, float]:
+    """ns/call of a *disabled* ``obs.probe`` (the zero-overhead contract).
+
+    Measures the bare counter probe and a probe carrying two label
+    fields; both must stay a global load + no-op method call while no
+    session is enabled.  Asserts observability is actually disabled
+    first — timing the enabled path here would record a meaningless
+    number and mask a leaked session.
+    """
+    from repro.obs import bus as obs
+
+    if obs.enabled():
+        raise RuntimeError("obs session active; overhead bench measures "
+                           "the disabled path")
+
+    def bare() -> float:
+        probe = obs.probe
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        for _ in range(calls):
+            probe("bench.probe")
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return calls / elapsed
+
+    def with_fields() -> float:
+        probe = obs.probe
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        for _ in range(calls):
+            probe("bench.probe", pfe="pfe1", action="fwd")
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return calls / elapsed
+
+    return {
+        "null_probe_ns": 1e9 / _best_of(bare, repeats),
+        "null_probe_fields_ns": 1e9 / _best_of(with_fields, repeats),
+        "ceiling_ns": OBS_PROBE_NS_CEILING,
+    }
+
+
 def collect(quick: bool = False) -> Dict:
     """Measure everything and return the BENCH_kernel.json document."""
     scale = 4 if quick else 1
@@ -240,6 +288,8 @@ def collect(quick: bool = False) -> Dict:
                                  repeats=3 if quick else 5)
     fig15 = bench_figure_sweep(blocks=20 if quick else 100,
                                repeats=2 if quick else 3)
+    obs_overhead = bench_obs_overhead(calls=250_000 if quick else 1_000_000,
+                                      repeats=3 if quick else 5)
     doc = {
         "schema": SCHEMA,
         "python": platform.python_version(),
@@ -255,6 +305,13 @@ def collect(quick: bool = False) -> Dict:
         },
         "trainer": {
             "iterations_per_s": round(trainer),
+        },
+        "obs": {
+            "null_probe_ns": round(obs_overhead["null_probe_ns"], 1),
+            "null_probe_fields_ns": round(
+                obs_overhead["null_probe_fields_ns"], 1
+            ),
+            "ceiling_ns": obs_overhead["ceiling_ns"],
         },
         "fig15_sweep": {
             "cpu_s": round(fig15["cpu_s"], 4),
@@ -300,6 +357,15 @@ def check(path: Path, quick: bool = True) -> int:
               f"({ratio:.2f}x) {status}")
         if ratio < REGRESSION_TOLERANCE:
             failures.append(f"{section}.{key}")
+    # Absolute bound, not a ratio: the disabled probe is tens of ns, so
+    # the ceiling is noise-immune yet still trips on a de-nulled path.
+    for key in ("null_probe_ns", "null_probe_fields_ns"):
+        measured = current["obs"][key]
+        status = "ok" if measured <= OBS_PROBE_NS_CEILING else "REGRESSION"
+        print(f"obs.{key}: measured {measured:.1f} ns "
+              f"(ceiling {OBS_PROBE_NS_CEILING:.0f} ns) {status}")
+        if measured > OBS_PROBE_NS_CEILING:
+            failures.append(f"obs.{key}")
     if failures:
         print(f"FAIL: >{(1 - REGRESSION_TOLERANCE):.0%} regression in: "
               + ", ".join(failures))

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 from repro.collectives import CollectiveBackend, get_backend
 from repro.ml.models import DNNModel
 from repro.ml.stragglers import SlowWorkerPattern
+from repro.obs import bus as _obs
 
 __all__ = ["DataParallelTrainer", "IterationRecord", "TrainingConfig"]
 
@@ -136,6 +137,9 @@ class DataParallelTrainer:
             rng=pattern_rng,
         )
         self.records: List[IterationRecord] = []
+        #: Synthetic trainer clock: iteration durations laid end to end,
+        #: giving the per-iteration phase spans a timeline to live on.
+        self._obs_clock = 0.0
 
     @property
     def mitigation_bound_s(self) -> float:
@@ -152,6 +156,9 @@ class DataParallelTrainer:
         iteration_duration = backend.iteration_duration
         sample_compute = config.model.sample_compute_time
         sample_delays = self.pattern.sample_iteration
+        # Hoisted once: iterations stay observability-free when disabled.
+        obs = _obs.session()
+        track = f"train/{config.system}"
         records = []
         for index in range(num_iterations):
             compute = sample_compute(self._compute_rng, jitter)
@@ -165,6 +172,18 @@ class DataParallelTrainer:
                 straggle_delays=delays,
                 mitigated=mitigated,
             ))
+            if obs is not None:
+                start = self._obs_clock
+                obs.complete(f"compute {index}", start, start + compute,
+                             track=track)
+                obs.complete(f"aggregate {index}", start + compute,
+                             start + duration, track=track,
+                             mitigated=mitigated)
+                obs.observe("ml.iteration_s", duration,
+                            system=config.system)
+                obs.probe("ml.iterations", system=config.system,
+                          mitigated=mitigated)
+                self._obs_clock = start + duration
         self.records.extend(records)
         return records
 

@@ -20,9 +20,24 @@ from repro.net.headers import (
     UDPHeader,
 )
 
-__all__ = ["Packet"]
+__all__ = ["Packet", "reset_packet_ids"]
 
 _packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart the process-global packet-id stream.
+
+    Ids only need to be unique and increasing *within* one
+    :class:`~repro.sim.Environment` (the Reorder Engine compares them
+    per flow), but they are drawn from a process-wide stream, so their
+    absolute values depend on everything that ran earlier in the
+    process.  Sweep harnesses call this before each independent point
+    so observability captures name packets identically whether points
+    run serially or in worker processes.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count()
 
 #: Packed Ethernet/IPv4/UDP header stacks keyed by the full field tuple.
 #: Identical constructor arguments always pack to identical wire bytes

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
-from repro.net.headers import HeaderError
+from repro.net.headers import ETHERTYPE_IPV4, HeaderError, IPv4Header
 from repro.net.link import Port
 from repro.net.packet import Packet
+from repro.obs import bus as _obs
 
 __all__ = ["CapturedFrame", "PacketTracer"]
 
@@ -39,11 +40,21 @@ def _summarise(packet: Packet) -> str:
     except HeaderError:
         pass
     try:
-        ether, __ = packet.parse_ethernet()
-        return (f"{ether.src} > {ether.dst} "
-                f"ethertype={ether.ethertype:#06x}")
+        ether, rest = packet.parse_ethernet()
     except HeaderError:
         return f"raw frame len={len(packet)}"
+    if ether.ethertype == ETHERTYPE_IPV4:
+        # IPv4 but not parseable UDP (another transport, or a truncated
+        # datagram): summarise at the IP layer instead of dropping to the
+        # bare Ethernet line.
+        try:
+            ip, __ = IPv4Header.parse(rest, verify_checksum=False)
+            return (f"{ip.src} > {ip.dst} "
+                    f"proto={ip.protocol} len={ip.total_length}")
+        except HeaderError:
+            pass
+    return (f"{ether.src} > {ether.dst} "
+            f"ethertype={ether.ethertype:#06x}")
 
 
 class PacketTracer:
@@ -89,6 +100,7 @@ class PacketTracer:
         if len(self.frames) >= self.max_frames:
             self.dropped_capacity += 1
             return
+        summary = _summarise(packet)
         self.frames.append(
             CapturedFrame(
                 time=port.env.now,
@@ -96,9 +108,17 @@ class PacketTracer:
                 direction=direction,
                 packet_id=packet.packet_id,
                 length=len(packet),
-                summary=_summarise(packet),
+                summary=summary,
             )
         )
+        obs = _obs.session()
+        if obs is not None:
+            # Same simulated clock and export path as every other probe:
+            # captures appear on per-port trace tracks next to the spans.
+            obs.probe("net.frames", direction=direction, port=port.name)
+            obs.instant(summary, port.env.now, track=f"net/{port.name}",
+                        direction=direction, packet_id=packet.packet_id,
+                        length=len(packet))
 
     # ------------------------------------------------------------------
     # Analysis

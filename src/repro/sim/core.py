@@ -43,6 +43,8 @@ import random
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs import bus as _obs
+
 __all__ = [
     "Environment",
     "Event",
@@ -580,6 +582,8 @@ class Environment:
         ``until`` may be a number (run until that simulated time) or an
         :class:`Event` (run until it fires, returning its value).
         """
+        if _obs.enabled():
+            return self._run_observed(until)
         stop_event: Optional[Event] = None
         stop_time = float("inf")
         if isinstance(until, Event):
@@ -651,3 +655,98 @@ class Environment:
         if stop_time != float("inf"):
             self._now = stop_time
         return None
+
+    def _run_observed(self, until: Optional[float] = None) -> Any:
+        """Instrumented twin of :meth:`run`, used while ``repro.obs`` records.
+
+        Identical semantics — same timestamps, tie-breaking, stop handling,
+        failure propagation, and ``_Delay`` recycling — plus per-event
+        metrics: event counts by class, queue-depth distribution, and each
+        process's share of elapsed simulated time.  Kept as a separate loop
+        so the disabled-mode fast paths in :meth:`run` pay nothing.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        registry = _obs.session().registry
+        events_by_kind = registry.counter(
+            "sim.events", "events processed, by event class", ("kind",))
+        queue_depth = registry.histogram(
+            "sim.queue_depth", "event-queue depth at each pop",
+            buckets=tuple(float(2 ** e) for e in range(17)))
+        process_share = registry.counter(
+            "sim.process_share_s",
+            "elapsed simulated time attributed to the resumed process",
+            ("process",))
+
+        queue = self._queue
+        pool = self._delay_pool
+        pending = _PENDING
+        pop = heappop
+        prev_now = self._now
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            queue_depth.observe(len(queue))
+            self._now, _, _, event = pop(queue)
+            callbacks = event.callbacks
+            event.callbacks = None
+            events_by_kind.inc(1.0, kind=event.__class__.__name__)
+            dt = self._now - prev_now
+            if dt > 0.0:
+                process_share.inc(dt, process=_event_owner(event, callbacks))
+            prev_now = self._now
+            if event.__class__ is _Delay:
+                for callback in callbacks:
+                    callback(event)
+                event.callbacks = callbacks
+                callbacks.clear()
+                event._value = pending
+                pool.append(event)
+                continue
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused and not callbacks:
+                raise event._value
+
+        if stop_event is not None:
+            if stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+
+def _event_owner(event: Event, callbacks: List[Callable]) -> str:
+    """Attribute an event to a process for sim-time-share accounting.
+
+    A firing :class:`Process` owns itself; otherwise the event belongs to
+    the first waiting process (bounce and timeout callbacks are bound
+    ``Process._resume`` methods).  Events nobody waits on fall back to
+    their class name.
+    """
+    if isinstance(event, Process):
+        return event.name
+    for callback in callbacks:
+        owner = getattr(callback, "__self__", None)
+        if isinstance(owner, Process):
+            return owner.name
+    return event.__class__.__name__

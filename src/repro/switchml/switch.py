@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.headers import HeaderError
 from repro.net.packet import Packet
+from repro.obs import bus as _obs
 from repro.pisa.pipeline import P4Program, PassResult, StageContext
 from repro.pisa.tofino import TofinoSwitch
 from repro.sim import Environment
@@ -87,8 +88,12 @@ class SwitchMLProgram(P4Program):
         self.segment_size = segment
         self.results_emitted = 0
         self.duplicates_dropped = 0
+        #: Slot -> open timestamp of slots waiting on more contributions.
+        self._slot_open_ts: Dict[int, float] = {}
 
     def on_install(self, pipeline) -> None:
+        if self.is_first and _obs.enabled():
+            _obs.register_collector(self._obs_collect)
         pool = self.job.pool_size
         stage = 0
         accesses_left = StageContext.MAX_ACCESSES_PER_STAGE
@@ -144,6 +149,20 @@ class SwitchMLProgram(P4Program):
                 self.bitmap_reg.write_raw(slot, 0)
             packet.meta["switchml_complete"] = complete
             packet.meta.setdefault("switchml_result", {})
+            obs = _obs.session()
+            if obs is not None:
+                now = self.pipeline.env.now
+                if old_bitmap == 0:
+                    self._slot_open_ts[slot] = now
+                if complete:
+                    opened = self._slot_open_ts.pop(slot, now)
+                    obs.complete(f"slot {slot}", opened, now,
+                                 track="switchml/slots",
+                                 pool_index=header.pool_index)
+                    obs.observe("switchml.slot_fill_s", now - opened)
+                    obs.probe("switchml.results")
+                obs.sample("switchml.slots_stalled", now,
+                           len(self._slot_open_ts))
 
         # Aggregate this pipeline's gradient segment.
         result_values = packet.meta.get("switchml_result", {})
@@ -168,6 +187,22 @@ class SwitchMLProgram(P4Program):
         if not complete:
             return PassResult(dropped=True)
         return PassResult(emit=self._build_results(header, result_values))
+
+    def _obs_collect(self, registry) -> None:
+        """Export the program's counters (runs once at finalize)."""
+        pipe = str(self.chain_position)
+        registry.counter(
+            "switchml.results_emitted", "completed pool slots", ("pipeline",)
+        ).inc(self.results_emitted, pipeline=pipe)
+        registry.counter(
+            "switchml.duplicates_dropped", "retransmissions ignored",
+            ("pipeline",)
+        ).inc(self.duplicates_dropped, pipeline=pipe)
+        registry.gauge(
+            "switchml.slots_stalled",
+            "slots still waiting on a contribution at finalize",
+            ("pipeline",)
+        ).set(len(self._slot_open_ts), pipeline=pipe)
 
     def _build_results(self, header: SwitchMLHeader,
                        result_values: Dict[int, int]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
+from repro.obs import bus as _obs
 from repro.sim import Environment
 
 __all__ = ["HardwareHashTable", "HashRecord"]
@@ -66,6 +67,9 @@ class HardwareHashTable:
         self.lookups = 0
         self.inserts = 0
         self.deletes = 0
+        #: Display name used for obs tracks/labels; the owning PFE
+        #: overrides it with a per-PFE name.
+        self.obs_name = "hash"
 
     def __len__(self) -> int:
         return self._count
@@ -111,6 +115,7 @@ class HardwareHashTable:
         record = HashRecord(key=key, value=value)
         bucket[key] = record
         self._count += 1
+        self._obs_occupancy()
         return record
 
     def insert_if_absent(self, key: Hashable, value: Any,
@@ -131,6 +136,7 @@ class HardwareHashTable:
         record = HashRecord(key=key, value=value)
         bucket[key] = record
         self._count += 1
+        self._obs_occupancy()
         return record, True
 
     def delete(self, key: Hashable, pre_delay_s: float = 0.0):
@@ -141,6 +147,7 @@ class HardwareHashTable:
         if key in bucket:
             del bucket[key]
             self._count -= 1
+            self._obs_occupancy()
             return True
         return False
 
@@ -154,7 +161,19 @@ class HardwareHashTable:
         records = self.segment_records(segment, num_segments)
         cost = max(1, len(records)) * self.scan_entry_latency_s
         yield self.env.delay(cost)
+        obs = _obs.session()
+        if obs is not None:
+            obs.probe("hash.scan_sweeps", table=self.obs_name)
+            obs.observe("hash.scan_records", len(records),
+                        table=self.obs_name)
         return records
+
+    def _obs_occupancy(self) -> None:
+        """Sample table occupancy onto the trace after a count change."""
+        obs = _obs.session()
+        if obs is not None:
+            obs.sample(f"hash.occupancy/{self.obs_name}",
+                       self.env.now, self._count)
 
     # ------------------------------------------------------------------
     # Zero-time accessors (control plane / tests)

@@ -28,6 +28,7 @@ from repro.net.headers import HeaderError
 from repro.net.link import Port
 from repro.net.multicast import MulticastGroupTable
 from repro.net.packet import Packet
+from repro.obs import bus as _obs
 from repro.sim import Environment, Process, Resource, Store
 from repro.trio.chipset import GENERATIONS, TrioChipsetConfig
 from repro.trio.crossbar import Crossbar
@@ -121,6 +122,10 @@ class PFE:
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.packets_consumed = 0
+        if _obs.enabled():
+            self.memory.rmw.obs_name = f"{name}.rmw"
+            self.hash_table.obs_name = f"{name}.hash"
+            _obs.register_collector(self._obs_collect)
         env.process(self._dispatch_loop(), name=f"{name}:dispatch")
 
     # ------------------------------------------------------------------
@@ -211,6 +216,13 @@ class PFE:
         tctx = self._checkout_tctx(ppe, pctx)
         # The dispatch cost coalesces with the thread's first blocking wait.
         tctx.pending_s += DISPATCH_LATENCY_S
+        obs = _obs.session()
+        if obs is not None:
+            started = self.env.now
+            obs.observe("pfe.dispatch_latency_s",
+                        started - pctx.arrival_time, pfe=self.name)
+            obs.sample(f"ppe.threads_in_use/{self.name}",
+                       started, self.threads_in_use)
         try:
             handler = self.app.handle_packet if self.app else self._plain_forward
             yield from handler(tctx, pctx)
@@ -219,6 +231,12 @@ class PFE:
             self._thread_slots.release()
             tctx.packet_ctx = None
             self._tctx_pool.append(tctx)
+            if obs is not None:
+                obs.complete(f"pkt {packet.packet_id}", started, self.env.now,
+                             track=f"{self.name}/threads",
+                             ppe=ppe.index, action=pctx.action)
+                obs.sample(f"ppe.threads_in_use/{self.name}",
+                           self.env.now, self.threads_in_use)
         outputs: List[Tuple[str, Packet, Optional[str]]] = []
         if pctx.action == ACTION_FORWARD:
             outputs.append((ACTION_FORWARD, packet, pctx.egress_port))
@@ -230,6 +248,81 @@ class PFE:
         for emitted, egress in pctx.emitted:
             outputs.append((ACTION_FORWARD, emitted, egress))
         self.reorder.complete(flow_key, seq, outputs)
+        if obs is not None:
+            obs.sample(f"reorder.in_flight/{self.name}",
+                       self.env.now, self.reorder.in_flight_flows)
+
+    def _obs_collect(self, registry) -> None:
+        """Export counters the model already keeps (runs once at finalize,
+        so the packet path pays nothing for them)."""
+        pfe = self.name
+        packets = registry.counter(
+            "pfe.packets", "packets per fate at each PFE", ("fate", "pfe"))
+        packets.inc(self.packets_in, fate="in", pfe=pfe)
+        packets.inc(self.packets_forwarded, fate="forwarded", pfe=pfe)
+        packets.inc(self.packets_dropped, fate="dropped", pfe=pfe)
+        packets.inc(self.packets_consumed, fate="consumed", pfe=pfe)
+
+        total_busy = sum(p.busy_s for p in self.ppes)
+        registry.counter(
+            "ppe.busy_s", "accumulated PPE compute time", ("pfe",)
+        ).inc(total_busy, pfe=pfe)
+        registry.counter(
+            "ppe.instructions", "datapath instructions executed", ("pfe",)
+        ).inc(sum(p.instructions_executed for p in self.ppes), pfe=pfe)
+        registry.counter(
+            "ppe.threads_spawned", "PPE threads spawned", ("pfe",)
+        ).inc(sum(p.threads_spawned for p in self.ppes), pfe=pfe)
+        elapsed = self.env.now
+        if elapsed > 0.0:
+            registry.gauge(
+                "ppe.occupancy",
+                "PPE busy time / (elapsed x num_ppes)", ("pfe",)
+            ).set(total_busy / (elapsed * len(self.ppes)), pfe=pfe)
+
+        registry.counter(
+            "reorder.released", "outputs released in order", ("pfe",)
+        ).inc(self.reorder.released, pfe=pfe)
+        registry.gauge(
+            "reorder.held_max", "max results held for one flow", ("pfe",)
+        ).set(self.reorder.held_max, pfe=pfe)
+
+        table = self.hash_table
+        hash_ops = registry.counter(
+            "hash.ops", "hash XTXNs by operation", ("op", "table"))
+        hash_ops.inc(table.lookups, op="lookup", table=table.obs_name)
+        hash_ops.inc(table.inserts, op="insert", table=table.obs_name)
+        hash_ops.inc(table.deletes, op="delete", table=table.obs_name)
+        registry.gauge(
+            "hash.occupancy", "records resident at finalize", ("table",)
+        ).set(len(table), table=table.obs_name)
+
+        rmw = self.memory.rmw
+        rmw_ops = registry.counter(
+            "rmw.ops", "RMW operations serviced", ("complex", "path"))
+        rmw_busy = registry.counter(
+            "rmw.busy_s", "RMW service time", ("complex", "path"))
+        rmw_bytes = registry.counter(
+            "rmw.bytes", "bytes serviced by RMW", ("complex", "path"))
+        engine_ops = sum(s.ops for s in rmw.engine_stats)
+        engine_busy = sum(s.busy_s for s in rmw.engine_stats)
+        engine_bytes = sum(s.bytes_serviced for s in rmw.engine_stats)
+        rmw_ops.inc(engine_ops, complex=rmw.obs_name, path="engine")
+        rmw_busy.inc(engine_busy, complex=rmw.obs_name, path="engine")
+        rmw_bytes.inc(engine_bytes, complex=rmw.obs_name, path="engine")
+        rmw_ops.inc(rmw.bulk_stats.ops, complex=rmw.obs_name, path="bulk")
+        rmw_busy.inc(rmw.bulk_stats.busy_s, complex=rmw.obs_name, path="bulk")
+        rmw_bytes.inc(rmw.bulk_stats.bytes_serviced,
+                      complex=rmw.obs_name, path="bulk")
+        if elapsed > 0.0:
+            util = registry.gauge(
+                "rmw.utilization",
+                "RMW busy time / elapsed (per engine for the engine path)",
+                ("complex", "path"))
+            util.set(engine_busy / (elapsed * rmw.num_engines),
+                     complex=rmw.obs_name, path="engine")
+            util.set(rmw.bulk_stats.busy_s / elapsed,
+                     complex=rmw.obs_name, path="bulk")
 
     def _plain_forward(self, tctx: ThreadContext, pctx: PacketContext):
         """Default application: parse and forward by destination IP."""

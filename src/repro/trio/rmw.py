@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import bus as _obs
 from repro.sim import Environment, Resource
 
 __all__ = ["RMWComplex", "RMWOpKind", "RMWStats"]
@@ -88,6 +89,11 @@ class RMWComplex:
         self._bulk_server = Resource(env)
         self.engine_stats: List[RMWStats] = [RMWStats() for __ in range(num_engines)]
         self.bulk_stats = RMWStats()
+        #: Display name used for obs tracks/labels; the owning PFE
+        #: overrides it with a per-PFE name.
+        self.obs_name = "rmw"
+        self._obs_busy = 0
+        self._obs_bulk_busy = 0
 
     # ------------------------------------------------------------------
     # Rates
@@ -151,9 +157,17 @@ class RMWComplex:
         engine_idx = self.engine_for(addr)
         engine = self._engines[engine_idx]
         stats = self.engine_stats[engine_idx]
+        obs = _obs.session()
+        queued_at = self.env.now if obs is not None else 0.0
         grant = engine.acquire()
         if grant is not None:
             yield grant
+        if obs is not None:
+            obs.observe("rmw.queue_wait_s", self.env.now - queued_at,
+                        complex=self.obs_name)
+            self._obs_busy += 1
+            obs.sample(f"rmw.engines_busy/{self.obs_name}",
+                       self.env.now, self._obs_busy)
         try:
             service_s = self._service_cycles(kind, size) * self.cycle_s
             yield self.env.delay(service_s)
@@ -163,6 +177,10 @@ class RMWComplex:
             return self._apply(kind, addr, size, data, operand, mask)
         finally:
             engine.release()
+            if obs is not None:
+                self._obs_busy -= 1
+                obs.sample(f"rmw.engines_busy/{self.obs_name}",
+                           self.env.now, self._obs_busy)
 
     def _apply(self, kind: RMWOpKind, addr: int, size: int,
                data: Optional[bytes], operand: int, mask: int):
@@ -234,9 +252,17 @@ class RMWComplex:
         n_ops = len(values)
         if n_ops == 0:
             return
+        obs = _obs.session()
+        queued_at = self.env.now if obs is not None else 0.0
         grant = self._bulk_server.acquire()
         if grant is not None:
             yield grant
+        if obs is not None:
+            obs.observe("rmw.bulk_wait_s", self.env.now - queued_at,
+                        complex=self.obs_name)
+            self._obs_bulk_busy += 1
+            obs.sample(f"rmw.bulk_busy/{self.obs_name}",
+                       self.env.now, self._obs_bulk_busy)
         try:
             service_s = n_ops * self.add32_cycles / (self.num_engines * self.clock_hz)
             yield self.env.delay(service_s)
@@ -250,6 +276,10 @@ class RMWComplex:
             self.storage.write_raw(addr, summed.astype("<u4").tobytes())
         finally:
             self._bulk_server.release()
+            if obs is not None:
+                self._obs_bulk_busy -= 1
+                obs.sample(f"rmw.bulk_busy/{self.obs_name}",
+                           self.env.now, self._obs_bulk_busy)
 
     def bulk_transfer(self, nbytes: int):
         """Charge bulk read/write bandwidth for ``nbytes`` (no mutation).
@@ -260,9 +290,17 @@ class RMWComplex:
         """
         if nbytes <= 0:
             return
+        obs = _obs.session()
+        queued_at = self.env.now if obs is not None else 0.0
         grant = self._bulk_server.acquire()
         if grant is not None:
             yield grant
+        if obs is not None:
+            obs.observe("rmw.bulk_wait_s", self.env.now - queued_at,
+                        complex=self.obs_name)
+            self._obs_bulk_busy += 1
+            obs.sample(f"rmw.bulk_busy/{self.obs_name}",
+                       self.env.now, self._obs_bulk_busy)
         try:
             cycles = (nbytes + self.bytes_per_cycle - 1) // self.bytes_per_cycle
             service_s = cycles / (self.num_engines * self.clock_hz)
@@ -272,6 +310,10 @@ class RMWComplex:
             self.bulk_stats.busy_s += service_s
         finally:
             self._bulk_server.release()
+            if obs is not None:
+                self._obs_bulk_busy -= 1
+                obs.sample(f"rmw.bulk_busy/{self.obs_name}",
+                           self.env.now, self._obs_bulk_busy)
 
     @property
     def total_ops(self) -> int:

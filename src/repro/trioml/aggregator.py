@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.headers import HeaderError
 from repro.net.packet import Packet
+from repro.obs import bus as _obs
 from repro.trio.counters import PacketByteCounter
 from repro.trio.pfe import PFE, TrioApplication
 from repro.trio.ppe import PacketContext, ThreadContext
@@ -138,6 +139,24 @@ class TrioMLAggregator(TrioApplication):
     def on_install(self, pfe: PFE) -> None:
         self.pfe = pfe
         self.drop_counter = PacketByteCounter(pfe.memory)
+        if _obs.enabled():
+            _obs.register_collector(self._obs_collect)
+
+    def _obs_collect(self, registry) -> None:
+        """Export the aggregator's own counters (runs once at finalize)."""
+        pfe = self.pfe.name if self.pfe is not None else "?"
+        counts = registry.counter(
+            "trioml.packets", "aggregation packets by outcome",
+            ("outcome", "pfe"))
+        counts.inc(self.packets_aggregated, outcome="aggregated", pfe=pfe)
+        counts.inc(self.duplicates, outcome="duplicate", pfe=pfe)
+        counts.inc(self.stale_packets, outcome="stale", pfe=pfe)
+        counts.inc(self.no_job_drops, outcome="no_job_drop", pfe=pfe)
+        counts.inc(self.block_cap_drops, outcome="block_cap_drop", pfe=pfe)
+        registry.counter(
+            "trioml.gradients_aggregated", "gradients summed by the RMW "
+            "engines", ("pfe",)
+        ).inc(self.gradients_aggregated, pfe=pfe)
 
     def configure_job(self, runtime: JobRuntime) -> JobRuntime:
         """Install a job: allocate and pack its record, insert the hash
@@ -265,7 +284,12 @@ class TrioMLAggregator(TrioApplication):
             )
             self._emit_result(runtime, result, pctx)
         pctx.consume()
-        self.packet_latencies.append(tctx.now - pctx.arrival_time)
+        latency = tctx.now - pctx.arrival_time
+        self.packet_latencies.append(latency)
+        obs = _obs.session()
+        if obs is not None:
+            obs.observe("trioml.packet_latency_s", latency,
+                        pfe=self.pfe.name)
 
     def _create_block(self, tctx: ThreadContext, runtime: JobRuntime,
                       header: TrioMLHeader) -> Optional[BlockRecord]:
@@ -320,6 +344,12 @@ class TrioMLAggregator(TrioApplication):
             memory.write_raw(aggr_paddr, bytes(buf_bytes))
         memory.write_raw(block.paddr, block.pack())
         record.block_total_cnt += 1
+        obs = _obs.session()
+        if obs is not None:
+            obs.probe("trioml.blocks_created", pfe=self.pfe.name)
+            obs.instant(
+                f"create {block.job_id}/{block.block_id}/g{block.gen_id}",
+                tctx.now, track="trioml/blocks")
         return block
 
     def _aggregate_gradients(self, tctx: ThreadContext, pctx: PacketContext,
@@ -429,17 +459,27 @@ class TrioMLAggregator(TrioApplication):
         runtime.blocks_completed += 1
         if degraded:
             runtime.blocks_degraded += 1
+        start_time = block.block_start_time / 1e9
         self.block_stats.append(
             BlockStats(
                 job_id=block.job_id,
                 block_id=block.block_id,
                 gen_id=block.gen_id,
-                start_time=block.block_start_time / 1e9,
+                start_time=start_time,
                 finish_time=tctx.now,
                 degraded=degraded,
                 src_cnt=src_cnt,
             )
         )
+        obs = _obs.session()
+        if obs is not None:
+            obs.complete(
+                f"block {block.job_id}/{block.block_id}/g{block.gen_id}",
+                start_time, tctx.now, track="trioml/blocks",
+                degraded=degraded, src_cnt=src_cnt)
+            obs.observe("trioml.block_latency_s", tctx.now - start_time,
+                        degraded=degraded)
+            obs.probe("trioml.blocks_completed", degraded=degraded)
         return result
 
     def _emit_result(self, runtime: JobRuntime, result: Packet,

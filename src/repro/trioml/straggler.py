@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs import bus as _obs
 from repro.trio.pfe import PFE
 from repro.trio.timers import TimerGroup
 from repro.trioml.aggregator import TrioMLAggregator
@@ -124,6 +125,7 @@ class StragglerDetector:
             tctx, runtime, block, degraded=True, age_op=AGE_OP_TIMED_OUT
         )
         self.aggregator._emit_result(runtime, result, pctx=None)
+        waited_s = now - block.block_start_time / 1e9
         self.mitigations.append(
             MitigationEvent(
                 time=now,
@@ -131,6 +133,13 @@ class StragglerDetector:
                 block_id=block.block_id,
                 gen_id=block.gen_id,
                 rcvd_cnt=block.rcvd_cnt,
-                waited_s=now - block.block_start_time / 1e9,
+                waited_s=waited_s,
             )
         )
+        obs = _obs.session()
+        if obs is not None:
+            obs.observe("trioml.mitigation_latency_s", waited_s)
+            obs.probe("trioml.mitigations")
+            obs.instant(
+                f"mitigate {block.job_id}/{block.block_id}/g{block.gen_id}",
+                now, track="trioml/blocks", rcvd_cnt=block.rcvd_cnt)

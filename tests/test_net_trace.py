@@ -87,6 +87,50 @@ class TestPacketTracer:
         env.run(until=1e-3)
         assert "ethertype=0x0806" in tracer.frames[0].summary
 
+    def test_non_udp_ip_summarised_at_ip_layer(self):
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0), directions=("rx",))
+        from repro.net.headers import (
+            ETHERTYPE_IPV4, EthernetHeader, IPv4Header,
+        )
+        ether = EthernetHeader(h1.mac, h0.mac, ethertype=ETHERTYPE_IPV4)
+        payload = b"\x00" * 32
+        ip = IPv4Header(src=h0.ip, dst=h1.ip, protocol=6,  # TCP, not UDP
+                        total_length=20 + len(payload))
+
+        def send():
+            yield h0.nic.send(Packet(ether.pack() + ip.pack() + payload))
+
+        env.process(send())
+        env.run(until=1e-3)
+        summary = tracer.frames[0].summary
+        assert "10.0.0.1 > 10.0.0.2" in summary
+        assert "proto=6" in summary
+        assert "ethertype" not in summary
+
+    def test_captures_recorded_as_obs_events(self):
+        from repro.obs import bus
+
+        env, pfe, h0, h1 = two_hosts_one_pfe()
+        tracer = PacketTracer()
+        tracer.tap(pfe.port(0))
+        session = bus.enable()
+        try:
+            def send():
+                yield h0.send_udp(h1.mac, h1.ip, 1, 2, b"x")
+
+            env.process(send())
+            env.run(until=1e-3)
+        finally:
+            bus.disable()
+        frames = session.registry.get("net.frames")
+        assert frames.value(direction="rx", port="pfe1.p0") == 1
+        exported = session.tracer.export()
+        marks = [e for e in exported["events"]
+                 if e[0] == "i" and e[1] == "net/pfe1.p0"]
+        assert len(marks) == len(tracer.frames)
+
     def test_filter_and_at_port(self):
         env, pfe, h0, h1 = two_hosts_one_pfe()
         tracer = PacketTracer()

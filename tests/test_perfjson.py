@@ -7,12 +7,18 @@ import pytest
 from repro.harness import perfjson
 
 
-def _fake_doc(delay: float, timeout: float) -> dict:
+def _fake_doc(delay: float, timeout: float,
+              probe_ns: float = 50.0) -> dict:
     return {
         "schema": perfjson.SCHEMA,
         "kernel": {
             "delay_events_per_s": delay,
             "timeout_events_per_s": timeout,
+        },
+        "obs": {
+            "null_probe_ns": probe_ns,
+            "null_probe_fields_ns": probe_ns,
+            "ceiling_ns": perfjson.OBS_PROBE_NS_CEILING,
         },
     }
 
@@ -21,10 +27,10 @@ def _fake_doc(delay: float, timeout: float) -> dict:
 def measured(monkeypatch):
     """Pin collect() so check() compares against known numbers."""
 
-    def _pin(delay, timeout):
+    def _pin(delay, timeout, probe_ns=50.0):
         monkeypatch.setattr(
             perfjson, "collect",
-            lambda quick=False: _fake_doc(delay, timeout),
+            lambda quick=False: _fake_doc(delay, timeout, probe_ns),
         )
 
     return _pin
@@ -55,6 +61,16 @@ def test_check_improvement_always_passes(tmp_path, measured):
     assert perfjson.check(committed) == 0
 
 
+def test_check_fails_on_obs_probe_over_ceiling(tmp_path, measured, capsys):
+    """The obs overhead check is an absolute ceiling, not a ratio."""
+    committed = tmp_path / "bench.json"
+    committed.write_text(json.dumps(_fake_doc(1_000_000, 1_000_000)))
+    measured(1_000_000, 1_000_000,
+             probe_ns=perfjson.OBS_PROBE_NS_CEILING * 10)
+    assert perfjson.check(committed) == 1
+    assert "obs.null_probe_ns" in capsys.readouterr().out
+
+
 def test_check_guards_trainer_entry(tmp_path, monkeypatch, capsys):
     """A committed trainer.iterations_per_s is regression-checked too."""
     committed_doc = _fake_doc(1_000_000, 1_000_000)
@@ -77,6 +93,8 @@ def test_collect_quick_schema():
     assert doc["macro"]["packets_per_s"] > 0
     assert doc["trainer"]["iterations_per_s"] > 0
     assert doc["fig15_sweep"]["scheduled_events"] > 0
+    assert 0 < doc["obs"]["null_probe_ns"]
+    assert doc["obs"]["ceiling_ns"] == perfjson.OBS_PROBE_NS_CEILING
     assert set(doc["seed_baseline"]) == {
         "delay_events_per_s", "timeout_events_per_s", "fig15_cpu_s",
     }
