@@ -85,6 +85,32 @@ def test_macro_packet_path_reports_throughput():
     assert stats["scheduled_events"] > stats["packets"]
 
 
+def test_flowsim_meets_100x_bytes_per_cpu_second_floor():
+    """The tentpole acceptance bar: the flow level must simulate at
+    least 100x more traffic bytes per CPU-second than the packet level.
+
+    Full sizing (10^4 flows) lands ~150-190x on the reference box; the
+    reduced sizing here keeps the test fast while staying far enough
+    above the floor that scheduler noise cannot trip it.  The packet
+    side reuses the macro data-plane bench so both sides share the
+    process_time/GC-paused methodology.
+    """
+    packet = perfjson.bench_packet_path(blocks=40, repeats=2)
+    flowsim = perfjson.bench_flowsim(num_flows=2_000, repeats=2)
+    ratio = (flowsim["simulated_bytes_per_cpu_s"]
+             / packet["simulated_bytes_per_cpu_s"])
+    assert ratio >= perfjson.FLOWSIM_SPEEDUP_FLOOR, (
+        f"flow level simulated {flowsim['simulated_bytes_per_cpu_s']:,.0f} "
+        f"bytes/cpu-s vs packet level "
+        f"{packet['simulated_bytes_per_cpu_s']:,.0f} — only {ratio:.1f}x, "
+        f"below the {perfjson.FLOWSIM_SPEEDUP_FLOOR:.0f}x floor"
+    )
+    assert flowsim["escalated_flows"] > 0, (
+        "the benchmark scenario must exercise the escalation boundary; "
+        "an all-fluid run would overstate the speedup"
+    )
+
+
 def test_fig15_serial_parallel_bit_identical():
     """Same rows AND same kernel event counts, serial vs ``--parallel``.
 

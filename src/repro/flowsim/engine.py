@@ -1,0 +1,351 @@
+"""Event-driven fluid flow engine — the fast level of the hybrid.
+
+Long-lived flows are modelled as rates, not packet streams.  Between
+*re-solve points* nothing needs simulating at all: every flow drains at
+its allocated rate and the earliest projected completion is known in
+closed form.  The engine therefore schedules exactly two kinds of
+events:
+
+* a **re-solve** whenever the flow set changes (arrival or departure),
+  coalesced per timestamp so an incast burst of N arrivals pays one
+  solve, not N;
+* a **completion wake-up** at the projected earliest finish, guarded by
+  an epoch counter so a re-solve invalidates stale wake-ups for free.
+
+Both run in the flow-level scheduling lane
+(:data:`repro.sim.FLOW_LEVEL_PRIORITY`): at any shared timestamp every
+packet-level event settles first, then the fluid level observes the
+result and re-allocates.  Rates come from max-min fair share
+(:mod:`repro.flowsim.solver`) over the directed link capacities of a
+:class:`repro.net.Topology`, derated by Ethernet/IPv4/UDP framing so
+fluid goodput and packet goodput are the same currency.
+
+Flows the :class:`~repro.flowsim.escalate.EscalationPolicy` marks
+contention-critical are *escalated*: their rate is pinned to a matched
+packet-level reference measurement instead of a fair share, and the
+solver treats that demand as inelastic.  Escalations are visible to
+:mod:`repro.obs` as counters, instants, and simulated-time spans, so a
+profile shows exactly where the packet level was entered and why.
+
+Cost model: O(active flows x path length) per re-solve and ~2 events
+per flow total, independent of flow *size* — which is where the
+simulated-bytes-per-CPU-second advantage over the packet level comes
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.flowsim.escalate import EscalationPolicy
+from repro.flowsim.flow import (
+    ActiveFlow,
+    DEFAULT_MTU_PAYLOAD_BYTES,
+    FRAME_OVERHEAD_BYTES,
+    FlowRecord,
+    FlowSpec,
+    wire_efficiency,
+)
+from repro.flowsim.solver import MIN_RATE_BPS, max_min_rates
+from repro.net.topology import Topology
+from repro.obs import bus as _obs
+from repro.sim import FLOW_LEVEL_PRIORITY, Environment
+
+__all__ = ["FluidEngine"]
+
+#: Residual-bits tolerance under which a flow counts as finished.  The
+#: wake-up fires at the exact projected instant, so the residual is pure
+#: float rounding — many orders of magnitude below one bit.
+_COMPLETION_EPS_BITS = 1.0
+
+
+class FluidEngine:
+    """Runs fluid flows over a topology inside a simulation environment."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 policy: Optional[EscalationPolicy] = None,
+                 payload_bytes: int = DEFAULT_MTU_PAYLOAD_BYTES):
+        self.env = env
+        self.topology = topology
+        self.policy = policy or EscalationPolicy()
+        self.payload_bytes = payload_bytes
+        self._efficiency = wire_efficiency(payload_bytes)
+
+        #: directed-link key -> (link, tx_port); key order is creation
+        #: order, deterministic because paths resolve deterministically.
+        self._dir_links: List[Tuple[object, object]] = []
+        self._dir_key: Dict[Tuple[int, str], int] = {}
+        self._capacity_bps: Dict[int, float] = {}
+        self._path_cache: Dict[Tuple[str, str],
+                               Tuple[Tuple[int, ...], float]] = {}
+
+        self.active: Dict[int, ActiveFlow] = {}
+        self.records: List[FlowRecord] = []
+        self._service_counts: Dict[str, int] = {}
+
+        self._last_advance_s = env.now
+        self._epoch = 0
+        self._solve_pending = False
+
+        # Aggregate statistics (kept unconditionally; cheap).
+        self.solves = 0
+        self.completed_payload_bytes = 0.0
+        self.escalated_completions = 0
+
+    # -- topology resolution --------------------------------------------
+
+    def _resolve_path(self, src: str, dst: str
+                      ) -> Tuple[Tuple[int, ...], float]:
+        """Directed-link keys plus fixed path latency for ``src -> dst``."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        hops = self.topology.find_path(src, dst)
+        keys: List[int] = []
+        latency = 0.0
+        frame_bits = (self.payload_bytes + FRAME_OVERHEAD_BYTES) * 8
+        for link, tx_port in hops:
+            dir_id = (id(link), tx_port.name)
+            key = self._dir_key.get(dir_id)
+            if key is None:
+                key = len(self._dir_links)
+                self._dir_key[dir_id] = key
+                self._dir_links.append((link, tx_port))
+                self._capacity_bps[key] = (
+                    link.bandwidth_bps * self._efficiency
+                )
+            keys.append(key)
+            # Store-and-forward: one full frame serialisation per hop
+            # plus the propagation delay.
+            latency += (link.propagation_delay_s
+                        + frame_bits / link.bandwidth_bps)
+        resolved = (tuple(keys), latency)
+        self._path_cache[(src, dst)] = resolved
+        return resolved
+
+    # -- introspection used by the policy -------------------------------
+
+    def service_count(self, service: str) -> int:
+        """Active flows carrying ``service`` (including escalated ones)."""
+        return self._service_counts.get(service, 0)
+
+    def group_bottleneck_bps(self, members: List[ActiveFlow]) -> float:
+        """Raw bandwidth of the narrowest link the group traverses.
+
+        Used to size packet-level reference runs so they model the
+        right bottleneck (e.g. the incast destination's access link).
+        """
+        narrowest = None
+        for flow in members:
+            for key in flow.links:
+                cap = self._capacity_bps[key]
+                if narrowest is None or cap < narrowest:
+                    narrowest = cap
+        if narrowest is None:
+            return 100e9
+        return narrowest / self._efficiency
+
+    # -- flow lifecycle --------------------------------------------------
+
+    def start_flow(self, spec: FlowSpec) -> None:
+        """Admit ``spec`` at the current simulated time."""
+        if spec.flow_id in self.active:
+            raise ValueError(f"duplicate flow id: {spec.flow_id}")
+        keys, latency = self._resolve_path(spec.src, spec.dst)
+        flow = ActiveFlow(
+            spec=spec,
+            links=keys,
+            remaining_bits=spec.size_bytes * 8.0,
+            latency_s=latency,
+        )
+        self.active[spec.flow_id] = flow
+        self._service_counts[spec.service] = (
+            self._service_counts.get(spec.service, 0) + 1
+        )
+        src_host = self.topology.hosts.get(spec.src)
+        dst_host = self.topology.hosts.get(spec.dst)
+        if src_host is not None:
+            src_host.fluid_open(spec.flow_id, "tx")
+        if dst_host is not None:
+            dst_host.fluid_open(spec.flow_id, "rx")
+        for key in keys:
+            link, tx_port = self._dir_links[key]
+            link.fluid_attach(tx_port, spec.flow_id)
+
+        reason = self.policy.classify(spec, self)
+        if reason is not None:
+            flow.escalated = reason
+            flow.group = self.policy.group_key(spec, reason)
+            flow.meta["escalated_s"] = self.env.now
+            self.policy.record(spec, reason, self.env.now)
+        self._schedule_solve()
+
+    def _finish_flow(self, flow: ActiveFlow, now: float) -> None:
+        spec = flow.spec
+        del self.active[spec.flow_id]
+        self._service_counts[spec.service] -= 1
+        src_host = self.topology.hosts.get(spec.src)
+        dst_host = self.topology.hosts.get(spec.dst)
+        if src_host is not None:
+            src_host.fluid_close(spec.flow_id, "tx", spec.size_bytes)
+        if dst_host is not None:
+            dst_host.fluid_close(spec.flow_id, "rx", spec.size_bytes)
+        for key in flow.links:
+            link, tx_port = self._dir_links[key]
+            link.fluid_detach(tx_port, spec.flow_id)
+
+        fct = now - spec.start_s + flow.latency_s
+        record = FlowRecord(
+            spec=spec,
+            finish_s=now + flow.latency_s,
+            fct_s=fct,
+            goodput_bps=spec.size_bytes * 8.0 / fct,
+            escalated=flow.escalated,
+        )
+        self.records.append(record)
+        self.completed_payload_bytes += spec.size_bytes
+        if flow.escalated is not None:
+            self.escalated_completions += 1
+        if _obs.enabled():
+            _obs.observe("flowsim.fct_s", fct, service=spec.service)
+            _obs.probe("flowsim.completed", service=spec.service)
+            if flow.escalated is not None:
+                _obs.complete(
+                    f"escalated:{flow.escalated}",
+                    flow.meta["escalated_s"], now,
+                    track="flowsim/escalations",
+                    flow=spec.flow_id, reason=flow.escalated,
+                    dst=spec.dst,
+                )
+
+    # -- the event-driven solve loop ------------------------------------
+
+    def _schedule_solve(self) -> None:
+        """Coalesce re-solves: one flow-level event per timestamp."""
+        if self._solve_pending:
+            return
+        self._solve_pending = True
+        self.env.call_at(self.env.now, self._solve_cycle,
+                         priority=FLOW_LEVEL_PRIORITY)
+
+    def _wake(self, epoch: int) -> None:
+        """Projected-completion wake-up; stale epochs are no-ops."""
+        if epoch != self._epoch:
+            return
+        self._solve_cycle()
+
+    def _solve_cycle(self) -> None:
+        self._solve_pending = False
+        now = self.env.now
+        self._advance(now)
+        self._complete_due(now)
+        self._resolve(now)
+
+    def _advance(self, now: float) -> None:
+        """Drain every active flow at its current rate up to ``now``."""
+        dt = now - self._last_advance_s
+        self._last_advance_s = now
+        if dt <= 0.0:
+            return
+        for flow in self.active.values():
+            if flow.rate_bps > 0.0:
+                flow.remaining_bits -= flow.rate_bps * dt
+
+    def _complete_due(self, now: float) -> None:
+        due = [flow for flow in self.active.values()
+               if flow.remaining_bits <= _COMPLETION_EPS_BITS]
+        for flow in due:
+            self._finish_flow(flow, now)
+
+    def _resolve(self, now: float) -> None:
+        """Re-allocate rates and schedule the next completion wake-up."""
+        self._epoch += 1
+        self.solves += 1
+        if not self.active:
+            return
+
+        # Pinned (escalated) flows first: group them, ask the policy for
+        # packet-derived rates, and accumulate their demand per link.
+        groups: Dict[Tuple[str, str], List[ActiveFlow]] = {}
+        elastic: Dict[int, Tuple[int, ...]] = {}
+        for flow_id, flow in self.active.items():
+            if flow.escalated is not None:
+                groups.setdefault(flow.group, []).append(flow)
+            else:
+                elastic[flow_id] = flow.links
+        pinned_bps: Dict[int, float] = {}
+        for group, members in groups.items():
+            rates = self.policy.pinned_rates(group, members, self)
+            for flow in members:
+                rate = rates[flow.spec.flow_id]
+                flow.rate_bps = rate
+                for key in flow.links:
+                    pinned_bps[key] = pinned_bps.get(key, 0.0) + rate
+
+        if elastic:
+            solved = max_min_rates(elastic, self._capacity_bps, pinned_bps)
+            for flow_id, rate in solved.items():
+                self.active[flow_id].rate_bps = rate
+
+        # Write rates back through the endpoint/link hooks and find the
+        # earliest projected completion.
+        next_finish = None
+        hosts = self.topology.hosts
+        dir_links = self._dir_links
+        for flow in self.active.values():
+            spec = flow.spec
+            rate = flow.rate_bps
+            if rate != flow.written_bps:
+                flow.written_bps = rate
+                for key in flow.links:
+                    link, tx_port = dir_links[key]
+                    link.fluid_set_rate(tx_port, spec.flow_id, rate)
+                src_host = hosts.get(spec.src)
+                if src_host is not None:
+                    src_host.fluid_set_rate(spec.flow_id, "tx", rate)
+                dst_host = hosts.get(spec.dst)
+                if dst_host is not None:
+                    dst_host.fluid_set_rate(spec.flow_id, "rx", rate)
+            finish = flow.remaining_bits / rate if rate > 0.0 else None
+            if finish is not None and (next_finish is None
+                                       or finish < next_finish):
+                next_finish = finish
+
+        if _obs.enabled():
+            _obs.probe("flowsim.solves")
+            _obs.sample("flowsim/active_flows", now, float(len(self.active)))
+
+        if next_finish is not None:
+            self.env.call_at(now + next_finish, self._wake, self._epoch,
+                             priority=FLOW_LEVEL_PRIORITY)
+
+    # -- aggregate statistics -------------------------------------------
+
+    @property
+    def escalations(self) -> Dict[str, int]:
+        """Escalation counts by reason (delegates to the policy)."""
+        return dict(self.policy.escalations)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate completion statistics over all finished flows."""
+        if not self.records:
+            return {
+                "flows": 0.0,
+                "payload_bytes": 0.0,
+                "mean_fct_s": 0.0,
+                "p99_fct_s": 0.0,
+                "mean_goodput_bps": 0.0,
+                "escalated": 0.0,
+                "solves": float(self.solves),
+            }
+        fcts = sorted(record.fct_s for record in self.records)
+        goodputs = [record.goodput_bps for record in self.records]
+        return {
+            "flows": float(len(self.records)),
+            "payload_bytes": self.completed_payload_bytes,
+            "mean_fct_s": sum(fcts) / len(fcts),
+            "p99_fct_s": fcts[int(0.99 * (len(fcts) - 1))],
+            "mean_goodput_bps": sum(goodputs) / len(goodputs),
+            "escalated": float(self.escalated_completions),
+            "solves": float(self.solves),
+        }

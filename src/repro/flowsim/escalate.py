@@ -1,0 +1,181 @@
+"""The escalation boundary between the flow level and the packet level.
+
+The fluid engine is exact for long-lived, steady flows sharing links
+fairly — precisely the regime where packet fidelity is wasted CPU.  It
+is *wrong* where contention dynamics matter:
+
+* **incast fan-in** — many synchronised flows converging on one host;
+  queue-drain ordering and store-and-forward tails make measured FCTs
+  worse than an equal-share rate predicts, especially for short flows;
+* **straggler windows** — a host whose per-packet (DPDK-side) cost, not
+  the wire, bounds its rate;
+* **hash-table-contended PFE paths** — ``"aggregation"`` service flows
+  that traverse a Trio PFE, whose goodput is set by PPE dispatch, hash
+  contention, and the RMW complex, not by link fair share.
+
+The :class:`EscalationPolicy` classifies flows at arrival into one of
+these reasons (or none) and, for escalated flows, supplies a *pinned*
+rate derived from a matched packet-level reference run
+(:mod:`repro.flowsim.packetref`).  Pinned rates are recomputed on every
+re-solve as group membership changes (an incast with 12 members is a
+different packet-level system than one with 3) and enter the max-min
+solver as inelastic demand; elastic flows share what remains.
+
+Reference runs are memoised per bucket and executed with observability
+suppressed (their internal timelines are unrelated to the outer
+simulation); the caches are process-local and deterministic, so cache
+hits can never change a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.flowsim.flow import ActiveFlow, FlowSpec
+from repro.flowsim import packetref
+from repro.obs import bus as _obs
+
+__all__ = [
+    "EscalationConfig",
+    "EscalationPolicy",
+    "reset_reference_caches",
+]
+
+
+def reset_reference_caches() -> None:
+    """Drop every memoised packet-level reference result.
+
+    Sweep harnesses call this at the start of each independent point so
+    a point's work is a pure function of its arguments in any process
+    layout (the cached values are deterministic, so this is about
+    keeping each point's *cost and side effects* identical too — packet
+    ids drawn, reference simulations run — not its results).
+    """
+    packetref.packet_fan_in.cache_clear()
+    packetref.packet_pair.cache_clear()
+    packetref.packet_pfe_goodput.cache_clear()
+
+
+def _degree_bucket(n: int, lo: int = 2, hi: int = 32) -> int:
+    """Smallest power of two >= n, clamped to [lo, hi].
+
+    Bucketing keeps the set of distinct packet-level reference runs
+    small (and cacheable) while tracking the contention level that
+    actually changes the measured behaviour.
+    """
+    bucket = lo
+    while bucket < n and bucket < hi:
+        bucket *= 2
+    return bucket
+
+
+@dataclass(frozen=True)
+class EscalationConfig:
+    """Declarative thresholds for the escalation boundary."""
+
+    #: Fan-in (concurrent flows converging on one host) at or above
+    #: which arriving flows are contention-critical.
+    incast_degree: int = 8
+    #: Flows larger than this stay fluid even inside an incast: a long
+    #: flow's FCT is dominated by its steady share, which the fluid
+    #: level already models.
+    incast_max_flow_bytes: float = 256_000.0
+    #: Hosts whose transmit side straggles (per-packet host cost).
+    straggler_hosts: Tuple[str, ...] = ()
+    #: The straggling host's per-packet cost, handed to the reference
+    #: run (2 us/packet caps a 1458 B payload stream at ~5.8 Gbps).
+    straggler_tx_overhead_s: float = 2e-6
+    #: Concurrent ``"aggregation"`` flows at or above which the PFE
+    #: hash path is considered contended.
+    pfe_contention_threshold: int = 4
+    #: Per-flow payload bytes of the incast/straggler reference runs.
+    reference_flow_bytes: int = 20_000
+
+
+class EscalationPolicy:
+    """Classifies flows and derives packet-pinned rates for them."""
+
+    def __init__(self, config: Optional[EscalationConfig] = None):
+        self.config = config or EscalationConfig()
+        self._stragglers = {name: True
+                            for name in self.config.straggler_hosts}
+        #: reason -> escalation count (mirrors the obs counter, readable
+        #: without a session).
+        self.escalations: Dict[str, int] = {}
+
+    # -- classification -------------------------------------------------
+
+    def classify(self, spec: FlowSpec, engine) -> Optional[str]:
+        """Reason string if ``spec`` must run at packet level, else None.
+
+        Called at flow arrival, after the flow's endpoints are attached
+        (so fan-in counts include the arriving flow).
+        """
+        config = self.config
+        if spec.src in self._stragglers:
+            return "straggler"
+        if (spec.service == "aggregation"
+                and engine.service_count("aggregation")
+                >= config.pfe_contention_threshold):
+            return "pfe-hash"
+        dst_host = engine.topology.hosts.get(spec.dst)
+        if (dst_host is not None
+                and dst_host.fluid_fan_in >= config.incast_degree
+                and spec.size_bytes <= config.incast_max_flow_bytes):
+            return "incast"
+        return None
+
+    def group_key(self, spec: FlowSpec, reason: str) -> Tuple[str, str]:
+        """Escalated flows sharing a group share one packet reference."""
+        if reason == "incast":
+            return ("incast", spec.dst)
+        if reason == "pfe-hash":
+            return ("pfe-hash", "pfe")
+        return ("straggler", spec.src)
+
+    # -- packet-derived rates -------------------------------------------
+
+    def pinned_rates(self, group: Tuple[str, str],
+                     members: List[ActiveFlow],
+                     engine) -> Dict[int, float]:
+        """Per-flow pinned rate (bps) for one escalation group.
+
+        Recomputed every re-solve: the reference lookup is keyed by the
+        group's *current* degree bucket, so rates track membership.
+        """
+        reason = group[0]
+        config = self.config
+        with _obs.suppressed():
+            if reason == "incast":
+                degree = _degree_bucket(len(members))
+                bottleneck = engine.group_bottleneck_bps(members)
+                ref = packetref.packet_fan_in(
+                    degree, config.reference_flow_bytes,
+                    bandwidth_bps=bottleneck,
+                )
+                rate = config.reference_flow_bytes * 8 / ref.mean_fct_s
+            elif reason == "straggler":
+                ref = packetref.packet_pair(
+                    config.reference_flow_bytes,
+                    bandwidth_bps=engine.group_bottleneck_bps(members),
+                    tx_overhead_s=config.straggler_tx_overhead_s,
+                )
+                rate = config.reference_flow_bytes * 8 / ref.mean_fct_s
+            else:  # pfe-hash
+                per_worker = packetref.packet_pfe_goodput()
+                rate = per_worker / max(1, len(members))
+        return {flow.spec.flow_id: rate for flow in members}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def record(self, spec: FlowSpec, reason: str, now_s: float) -> None:
+        """Count the escalation and emit the obs instant."""
+        self.escalations[reason] = self.escalations.get(reason, 0) + 1
+        if _obs.enabled():
+            _obs.probe("flowsim.escalations", reason=reason)
+            _obs.instant(
+                f"escalate:{reason}", now_s, track="flowsim/escalations",
+                flow=spec.flow_id, src=spec.src, dst=spec.dst,
+                reason=reason,
+            )

@@ -1,0 +1,249 @@
+"""Canonical hybrid-simulation scenarios: fabric + seeded workload.
+
+One fabric shape (a leaf/spine Clos, the topology of the paper's
+testbed rack writ small) and one workload generator (Poisson arrivals,
+exponential sizes, with configurable incast bursts, ``"aggregation"``
+traffic that exercises the PFE escalation path, and straggler hosts)
+cover the benchmark, the calibration bridge, and the determinism tests.
+
+Everything is a pure function of the config plus the environment's seed
+tree: flow ids, arrival times, sizes, and endpoints come from
+``env.rng_stream("flowsim/scenario")``, so two runs with the same
+``--seed`` produce byte-identical flow lists in any process layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.flowsim.engine import FluidEngine
+from repro.flowsim.escalate import (
+    EscalationConfig,
+    EscalationPolicy,
+    reset_reference_caches,
+)
+from repro.flowsim.flow import FlowRecord, FlowSpec
+from repro.net import IPv4Address, MACAddress, Topology
+from repro.net.host import Host
+from repro.net.link import Port
+from repro.sim import Environment
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_leaf_spine",
+    "generate_flows",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One hybrid-simulation scenario, fabric and workload together."""
+
+    # -- fabric ---------------------------------------------------------
+    leaves: int = 4
+    hosts_per_leaf: int = 16
+    host_bandwidth_bps: float = 100e9
+    #: Leaf->spine uplink speed; at the default 800G a leaf of sixteen
+    #: 100G hosts is 2:1 oversubscribed, so uplinks genuinely contend
+    #: (uplink utilisation ~0.76 at the default load) while the system
+    #: stays stable — offered load must remain below every bottleneck
+    #: or the active-flow set grows without bound.
+    uplink_bandwidth_bps: float = 800e9
+    propagation_s: float = 1e-6
+
+    # -- workload -------------------------------------------------------
+    num_flows: int = 2000
+    #: Mean of the exponential flow-size distribution.  Large flows are
+    #: where the fluid level earns its keep: per-flow cost is
+    #: size-independent.
+    mean_flow_bytes: float = 2e6
+    #: Offered load as a fraction of aggregate host access bandwidth.
+    load: float = 0.5
+    #: Fraction of the flow budget spent on synchronised incast bursts.
+    incast_fraction: float = 0.05
+    incast_degree: int = 12
+    incast_flow_bytes: float = 40_000.0
+    #: Fraction of the flow budget spent on ``"aggregation"`` bursts
+    #: (the PFE hash-contention escalation trigger).  Aggregation
+    #: traffic is a synchronised allreduce step: ``aggregation_degree``
+    #: workers transmit gradient blocks at the same instant, which is
+    #: what drives concurrent PFE hash-path occupancy past the
+    #: escalation threshold.
+    aggregation_fraction: float = 0.02
+    aggregation_degree: int = 6
+    #: Aggregation flows are gradient blocks, not bulk transfers: small
+    #: and fixed-size.  Their packet-pinned service rate is low (the
+    #: contended PFE path), so sizing them like bulk flows would
+    #: overload that path and grow the active set without bound.
+    aggregation_flow_bytes: float = 50_000.0
+    #: Hosts (by name) whose transmit side straggles.
+    straggler_hosts: Tuple[str, ...] = ("h00-00",)
+    escalation: EscalationConfig = field(default_factory=EscalationConfig)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one hybrid run."""
+
+    records: List[FlowRecord]
+    summary: Dict[str, float]
+    escalations: Dict[str, int]
+    #: Simulated time at which the last flow finished (seconds).
+    sim_seconds: float
+    #: Payload bytes carried to completion across all flows.
+    simulated_payload_bytes: float
+    solves: int
+
+
+def host_name(leaf: int, index: int) -> str:
+    return f"h{leaf:02d}-{index:02d}"
+
+
+def build_leaf_spine(env: Environment,
+                     config: ScenarioConfig) -> Topology:
+    """A single-spine leaf/spine Clos with oversubscribed uplinks."""
+    topology = Topology(env)
+    for leaf in range(config.leaves):
+        for index in range(config.hosts_per_leaf):
+            host = Host(
+                env,
+                host_name(leaf, index),
+                MACAddress(0x0200_0000 + leaf * 256 + index),
+                IPv4Address(f"10.{leaf}.0.{index + 1}"),
+            )
+            topology.add_host(host)
+            down = Port(env, f"leaf{leaf}:down{index}")
+            topology.register_port(down, f"leaf{leaf}")
+            topology.connect(
+                host.nic.port, down,
+                bandwidth_bps=config.host_bandwidth_bps,
+                propagation_delay_s=config.propagation_s,
+            )
+        up = Port(env, f"leaf{leaf}:up")
+        topology.register_port(up, f"leaf{leaf}")
+        spine_port = Port(env, f"spine:leaf{leaf}")
+        topology.register_port(spine_port, "spine")
+        topology.add_device(f"leaf{leaf}", up)
+        topology.connect(
+            up, spine_port,
+            bandwidth_bps=config.uplink_bandwidth_bps,
+            propagation_delay_s=config.propagation_s,
+        )
+    topology.add_device("spine", None)
+    return topology
+
+
+def generate_flows(env: Environment,
+                   config: ScenarioConfig) -> List[FlowSpec]:
+    """The scenario's flow list, drawn from the environment's seed tree."""
+    rng = env.rng_stream("flowsim/scenario")
+    hosts = [host_name(leaf, index)
+             for leaf in range(config.leaves)
+             for index in range(config.hosts_per_leaf)]
+    num_hosts = len(hosts)
+
+    # Poisson arrivals sized so offered load hits the target fraction of
+    # aggregate access bandwidth.
+    offered_bps = num_hosts * config.host_bandwidth_bps * config.load
+    arrival_rate = offered_bps / (config.mean_flow_bytes * 8.0)
+
+    flows: List[FlowSpec] = []
+    flow_id = 0
+    now = 0.0
+    incast_budget = int(config.num_flows * config.incast_fraction)
+    aggregation_budget = int(config.num_flows
+                             * config.aggregation_fraction)
+    while len(flows) < config.num_flows:
+        now += rng.expovariate(arrival_rate)
+        if (aggregation_budget > 0
+                and rng.random() < config.aggregation_fraction):
+            # A synchronised allreduce step: `aggregation_degree`
+            # workers ship a gradient block to one aggregation point at
+            # the same instant.
+            target = rng.randrange(num_hosts)
+            workers = rng.sample(
+                [h for h in range(num_hosts) if h != target],
+                min(config.aggregation_degree, num_hosts - 1),
+            )
+            for worker in workers:
+                flows.append(FlowSpec(
+                    flow_id=flow_id,
+                    src=hosts[worker],
+                    dst=hosts[target],
+                    size_bytes=config.aggregation_flow_bytes,
+                    start_s=now,
+                    service="aggregation",
+                ))
+                flow_id += 1
+            aggregation_budget -= len(workers)
+            continue
+        burst = (incast_budget > 0
+                 and rng.random() < config.incast_fraction)
+        if burst:
+            # A synchronised fan-in: `incast_degree` short flows from
+            # distinct sources arriving at the same instant.
+            victim = rng.randrange(num_hosts)
+            senders = rng.sample(
+                [h for h in range(num_hosts) if h != victim],
+                min(config.incast_degree, num_hosts - 1),
+            )
+            for sender in senders:
+                flows.append(FlowSpec(
+                    flow_id=flow_id,
+                    src=hosts[sender],
+                    dst=hosts[victim],
+                    size_bytes=config.incast_flow_bytes,
+                    start_s=now,
+                    service="incast",
+                ))
+                flow_id += 1
+            incast_budget -= len(senders)
+            continue
+        src = rng.randrange(num_hosts)
+        dst = rng.randrange(num_hosts - 1)
+        if dst >= src:
+            dst += 1
+        size = max(1458.0,
+                   rng.expovariate(1.0 / config.mean_flow_bytes))
+        flows.append(FlowSpec(
+            flow_id=flow_id,
+            src=hosts[src],
+            dst=hosts[dst],
+            size_bytes=size,
+            start_s=now,
+            service="bulk",
+        ))
+        flow_id += 1
+    return flows[:config.num_flows]
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build the fabric, inject the workload, run to completion."""
+    # Fresh reference caches per point: identical cost and side effects
+    # whether this point runs serially, in a worker, or after another.
+    reset_reference_caches()
+    env = Environment()
+    topology = build_leaf_spine(env, config)
+    policy = EscalationPolicy(EscalationConfig(
+        incast_degree=config.escalation.incast_degree,
+        incast_max_flow_bytes=config.escalation.incast_max_flow_bytes,
+        straggler_hosts=config.straggler_hosts,
+        straggler_tx_overhead_s=config.escalation.straggler_tx_overhead_s,
+        pfe_contention_threshold=config.escalation.pfe_contention_threshold,
+        reference_flow_bytes=config.escalation.reference_flow_bytes,
+    ))
+    engine = FluidEngine(env, topology, policy=policy)
+    for spec in generate_flows(env, config):
+        env.call_at(spec.start_s, engine.start_flow, spec)
+    env.run()
+    return ScenarioResult(
+        records=engine.records,
+        summary=engine.summary(),
+        escalations=engine.escalations,
+        sim_seconds=env.now,
+        simulated_payload_bytes=engine.completed_payload_bytes,
+        solves=engine.solves,
+    )

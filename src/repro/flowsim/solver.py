@@ -1,0 +1,105 @@
+"""Max-min fair-share bandwidth allocation (progressive filling).
+
+The fluid level models every long-lived flow as a rate, not a packet
+stream.  Given the set of active flows and the directed link capacities
+they traverse, the classic water-filling algorithm yields the max-min
+fair allocation: repeatedly find the most constrained link (smallest
+equal share among its unfrozen flows), freeze every flow crossing it at
+that share, subtract, and continue until all flows are frozen.
+
+Two extensions the hybrid engine needs:
+
+* **Pinned flows** — escalated segments carry a packet-derived rate the
+  solver must respect, so pinned demand is subtracted from link
+  capacity before the elastic flows share the remainder.
+* **A rate floor** — when pinned demand saturates a link completely,
+  the elastic flows crossing it would otherwise receive rate 0 and
+  never finish; :data:`MIN_RATE_BPS` keeps the fluid system live (and
+  is far below any rate that could influence a calibrated result).
+
+Everything is deterministic: links are visited in key order, ties in
+the bottleneck search resolve to the smallest link key, and the result
+is a pure function of the inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = ["MIN_RATE_BPS", "max_min_rates"]
+
+#: Floor on any allocated rate, so overload cannot stall the event loop.
+MIN_RATE_BPS = 1e3
+
+
+def max_min_rates(
+    flow_links: Mapping[int, Sequence[int]],
+    capacity_bps: Mapping[int, float],
+    pinned_bps: Mapping[int, float] = {},
+) -> Dict[int, float]:
+    """Max-min fair rates for elastic flows over directed links.
+
+    Args:
+        flow_links: flow id -> the directed-link keys it traverses.
+            Flows listed here are *elastic* (rate decided by fairness).
+        capacity_bps: directed-link key -> capacity in bps.
+        pinned_bps: directed-link key -> total demand already committed
+            to pinned (escalated) flows on that link, subtracted from
+            capacity before sharing.
+
+    Returns:
+        flow id -> allocated rate (bps), every flow >= MIN_RATE_BPS.
+    """
+    # remaining capacity and unfrozen-flow count per link
+    remaining: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for flow_id, links in flow_links.items():
+        for key in links:
+            counts[key] = counts.get(key, 0) + 1
+    for key, count in counts.items():
+        cap = capacity_bps[key] - pinned_bps.get(key, 0.0)
+        remaining[key] = cap if cap > 0.0 else 0.0
+
+    rates: Dict[int, float] = {}
+    unfrozen = dict(flow_links)
+    while unfrozen:
+        # The bottleneck link: smallest equal share among its flows.
+        share = None
+        for key, count in counts.items():
+            if count <= 0:
+                continue
+            candidate = remaining[key] / count
+            if share is None or candidate < share:
+                share = candidate
+        if share is None:
+            # Remaining flows traverse only links with no unfrozen
+            # counts — cannot happen by construction, but stay safe.
+            for flow_id in unfrozen:
+                rates[flow_id] = MIN_RATE_BPS
+            break
+        share = max(share, MIN_RATE_BPS)
+        # Freeze every unfrozen flow crossing a link at (or numerically
+        # below) the bottleneck share.
+        threshold = share * (1.0 + 1e-12)
+        frozen = [
+            flow_id
+            for flow_id, links in unfrozen.items()
+            if any(
+                counts[key] > 0 and remaining[key] / counts[key] <= threshold
+                for key in links
+            )
+        ]
+        if not frozen:
+            # Numerical corner: nothing met the threshold (degenerate
+            # capacities); freeze everything at the floor to terminate.
+            frozen = list(unfrozen)
+            share = MIN_RATE_BPS
+        for flow_id in frozen:
+            rates[flow_id] = share
+            for key in unfrozen[flow_id]:
+                counts[key] -= 1
+                remaining[key] -= share
+                if remaining[key] < 0.0:
+                    remaining[key] = 0.0
+            del unfrozen[flow_id]
+    return rates

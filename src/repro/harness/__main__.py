@@ -80,6 +80,12 @@ def _run_backends(parallel=None) -> str:
     return figures.render_backend_sweep(exp.backend_sweep(parallel=parallel))
 
 
+def _run_hybrid(fast: bool, parallel=None) -> str:
+    return figures.render_hybrid_sweep(exp.hybrid_sweep(
+        num_flows=500 if fast else 2000, parallel=parallel
+    ))
+
+
 def _run_calibrate() -> str:
     from repro.collectives.calibrate import calibrate, render_calibration
 
@@ -142,6 +148,7 @@ def build_registry(fast: bool, chart: bool = False, parallel=None
         "fig15": partial(_run_fig15, fast, parallel=parallel),
         "fig16": partial(_run_fig16, fast, chart, parallel=parallel),
         "backends": partial(_run_backends, parallel=parallel),
+        "hybrid": partial(_run_hybrid, fast, parallel=parallel),
         "calibrate": _run_calibrate,
         "analysis": _run_analysis,
         "ablations": partial(_run_ablations, fast),
@@ -178,6 +185,17 @@ def _run_observed(names, registry, args, with_slice: bool) -> int:
             print(f"[dataplane slice: {stats['simulated_s'] * 1e3:.2f} ms "
                   f"simulated, {int(stats['scheduled_events'])} events, "
                   f"{int(stats['blocks_mitigated'])} blocks mitigated]\n")
+            flow_stats = exp.profile_flowsim_slice(
+                num_flows=100 if args.fast else 300)
+            escalations = ", ".join(
+                f"{key.split('.', 1)[1]} {int(value)}"
+                for key, value in sorted(flow_stats.items())
+                if key.startswith("escalations.")
+            ) or "none"
+            print(f"[flowsim slice: {flow_stats['simulated_s'] * 1e3:.2f} ms "
+                  f"simulated, {int(flow_stats['flows'])} flows, "
+                  f"{int(flow_stats['solves'])} solves, "
+                  f"escalations: {escalations}]\n")
         _run_names(names, registry)
     finally:
         captured = obs.disable()

@@ -38,6 +38,7 @@ __all__ = [
     "Fig14Row",
     "Fig15Row",
     "Fig16Row",
+    "HybridRow",
     "ProgramAnalysis",
     "ablation_hierarchy",
     "ablation_rmw_offload",
@@ -50,9 +51,11 @@ __all__ = [
     "fig15_latency_rate",
     "fig16_window_sweep",
     "generation_scaling",
+    "hybrid_sweep",
     "loss_recovery_sweep",
     "microcode_program_analysis",
     "profile_dataplane_slice",
+    "profile_flowsim_slice",
     "table1_models",
 ]
 
@@ -836,6 +839,101 @@ def ablation_tail_chunk(
             )
         )
     return rows
+
+# ---------------------------------------------------------------------------
+# Hybrid flow/packet sweep (repro.flowsim)
+# ---------------------------------------------------------------------------
+
+#: Offered loads (fraction of aggregate host access bandwidth) swept by
+#: the hybrid mode.
+HYBRID_LOADS = (0.3, 0.5, 0.7)
+
+
+@dataclass
+class HybridRow:
+    """One offered-load point of the hybrid flow/packet sweep."""
+
+    load: float
+    flows: int
+    mean_fct_ms: float
+    p99_fct_ms: float
+    mean_goodput_gbps: float
+    simulated_gbytes: float
+    sim_seconds: float
+    solves: int
+    #: Escalation counts by reason ("incast", "straggler", "pfe-hash").
+    escalations: Dict[str, int]
+
+    @property
+    def escalated_total(self) -> int:
+        return sum(self.escalations.values())
+
+
+def _hybrid_point(args: Tuple[int, float, float]) -> HybridRow:
+    """One offered-load point: a full hybrid scenario run."""
+    from repro.flowsim import ScenarioConfig, run_scenario
+
+    num_flows, load, mean_flow_bytes = args
+    result = run_scenario(ScenarioConfig(
+        num_flows=num_flows, load=load, mean_flow_bytes=mean_flow_bytes,
+    ))
+    summary = result.summary
+    return HybridRow(
+        load=load,
+        flows=int(summary["flows"]),
+        mean_fct_ms=summary["mean_fct_s"] * 1e3,
+        p99_fct_ms=summary["p99_fct_s"] * 1e3,
+        mean_goodput_gbps=summary["mean_goodput_bps"] / 1e9,
+        simulated_gbytes=result.simulated_payload_bytes / 1e9,
+        sim_seconds=result.sim_seconds,
+        solves=result.solves,
+        escalations=dict(sorted(result.escalations.items())),
+    )
+
+
+def hybrid_sweep(
+    loads: Sequence[float] = HYBRID_LOADS,
+    num_flows: int = 2000,
+    mean_flow_bytes: float = 2e6,
+    parallel: Optional[int] = None,
+) -> List[HybridRow]:
+    """The two-level hybrid simulation swept over offered load.
+
+    Each point runs ``num_flows`` flows on the leaf/spine fabric through
+    the fluid engine, with incast bursts, a straggler host, and
+    synchronised aggregation steps escalating to the packet level.  Every
+    point is a pure function of its arguments plus the process-default
+    seed, so ``--parallel`` runs are bit-identical to serial ones.
+    """
+    points = [(num_flows, load, mean_flow_bytes) for load in loads]
+    return _map_points(_hybrid_point, points, parallel)
+
+
+def profile_flowsim_slice(num_flows: int = 300) -> Dict[str, float]:
+    """A small hybrid run for the ``profile`` harness mode.
+
+    Sized so every escalation reason fires: the trace gains the
+    ``flowsim/escalations`` track (escalation instants plus
+    escalated-flow spans in simulated time) and the metrics snapshot
+    gains the ``flowsim.*`` counters the profile report lists.
+    """
+    from repro.flowsim import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(
+        num_flows=num_flows,
+        incast_fraction=0.1,
+        aggregation_fraction=0.1,
+    ))
+    stats: Dict[str, float] = {
+        "simulated_s": result.sim_seconds,
+        "flows": result.summary["flows"],
+        "solves": float(result.solves),
+        "escalated_flows": result.summary["escalated"],
+    }
+    for reason, count in sorted(result.escalations.items()):
+        stats[f"escalations.{reason}"] = float(count)
+    return stats
+
 
 # ---------------------------------------------------------------------------
 # Profiling slice: a data-plane run that exercises every probe family

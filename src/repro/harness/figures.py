@@ -14,6 +14,7 @@ __all__ = [
     "render_fig14",
     "render_fig15",
     "render_fig16",
+    "render_hybrid_sweep",
     "render_program_analysis",
     "render_ablation",
     "render_generation_scaling",
@@ -21,6 +22,7 @@ __all__ = [
     "fig13_to_csv",
     "fig15_to_csv",
     "fig16_to_csv",
+    "hybrid_to_csv",
 ]
 
 
@@ -180,6 +182,27 @@ def render_generation_scaling(rows: Sequence["exp.GenerationRow"]) -> str:
     return "\n".join(lines)
 
 
+def render_hybrid_sweep(rows: Sequence["exp.HybridRow"]) -> str:
+    lines = [
+        "Hybrid flow/packet simulation: FCT and escalations vs offered load",
+        _rule(88),
+        f"{'Load':>6}{'Flows':>7}{'Mean FCT (ms)':>15}{'p99 (ms)':>10}"
+        f"{'Goodput (Gbps)':>16}{'Sim (GB)':>10}{'Solves':>8}"
+        f"{'Escalated':>11}",
+    ]
+    for row in rows:
+        detail = ", ".join(f"{reason} {count}"
+                           for reason, count in row.escalations.items())
+        lines.append(
+            f"{row.load * 100:>5.0f}%{row.flows:>7}{row.mean_fct_ms:>15.3f}"
+            f"{row.p99_fct_ms:>10.2f}{row.mean_goodput_gbps:>16.2f}"
+            f"{row.simulated_gbytes:>10.2f}{row.solves:>8}"
+            f"{row.escalated_total:>11}"
+            + (f"  ({detail})" if detail else "")
+        )
+    return "\n".join(lines)
+
+
 def render_loss_recovery(rows: Sequence["exp.LossRow"]) -> str:
     lines = [
         "Supplementary: allreduce under packet loss with §7 resiliency",
@@ -225,6 +248,18 @@ def fig15_to_csv(rows: List["exp.Fig15Row"]) -> str:
     return to_csv(
         ("grads_per_packet", "latency_us", "rate_grads_per_us"),
         [(r.grads_per_packet, r.latency_us, r.rate_grads_per_us)
+         for r in rows],
+    )
+
+
+def hybrid_to_csv(rows: List["exp.HybridRow"]) -> str:
+    return to_csv(
+        ("load", "flows", "mean_fct_ms", "p99_fct_ms",
+         "mean_goodput_gbps", "simulated_gbytes", "sim_seconds",
+         "solves", "escalated"),
+        [(r.load, r.flows, r.mean_fct_ms, r.p99_fct_ms,
+          r.mean_goodput_gbps, r.simulated_gbytes, r.sim_seconds,
+          r.solves, r.escalated_total)
          for r in rows],
     )
 

@@ -10,13 +10,19 @@ experiment can be described declaratively::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.host import Host
 from repro.net.link import Link, Port
 from repro.sim import Environment
 
-__all__ = ["Topology"]
+__all__ = ["Hop", "Topology"]
+
+#: One step of a flow path: the link plus the port transmitting onto it.
+#: The transmit port identifies the *direction*, which is what the
+#: flow-level solver allocates capacity over (each direction of a
+#: full-duplex link is an independent resource).
+Hop = Tuple[Link, Port]
 
 #: Default link speed of the paper's testbed.
 DEFAULT_BANDWIDTH_BPS = 100e9
@@ -32,12 +38,15 @@ class Topology:
         self.hosts: Dict[str, Host] = {}
         self.devices: Dict[str, object] = {}
         self.links: List[Link] = []
+        #: port name -> owning node name, for flow-path resolution.
+        self._port_owner: Dict[str, str] = {}
 
     def add_host(self, host: Host) -> Host:
-        """Register a host by its name."""
+        """Register a host by its name (and its NIC port for routing)."""
         if host.name in self.hosts:
             raise ValueError(f"duplicate host name: {host.name!r}")
         self.hosts[host.name] = host
+        self._port_owner[host.nic.port.name] = host.name
         return host
 
     def add_device(self, name: str, device: object) -> object:
@@ -46,6 +55,67 @@ class Topology:
             raise ValueError(f"duplicate device name: {name!r}")
         self.devices[name] = device
         return device
+
+    def register_port(self, port: Port, node_name: str) -> Port:
+        """Declare that ``port`` belongs to node ``node_name``.
+
+        Host NIC ports are registered automatically by :meth:`add_host`;
+        device ports must be registered explicitly before
+        :meth:`find_path` can route through the device.
+        """
+        self._port_owner[port.name] = node_name
+        return port
+
+    def port_owner(self, port: Port) -> Optional[str]:
+        """The node name that owns ``port``, or None if unregistered."""
+        return self._port_owner.get(port.name)
+
+    def find_path(self, src: str, dst: str) -> List[Hop]:
+        """Shortest path from node ``src`` to node ``dst`` as directed hops.
+
+        Breadth-first search over the link inventory, deterministic by
+        construction: neighbours are explored in link-insertion order, so
+        two identically built topologies always return the same path.
+        Each hop is ``(link, tx_port)`` — the transmit port names the
+        link *direction* the flow occupies.  Raises ``ValueError`` when
+        either node is unknown or no path exists.
+        """
+        if src not in self.hosts and src not in self.devices:
+            raise ValueError(f"unknown node: {src!r}")
+        if dst not in self.hosts and dst not in self.devices:
+            raise ValueError(f"unknown node: {dst!r}")
+        if src == dst:
+            return []
+        # node -> list of (neighbour node, hop), in link-insertion order.
+        adjacency: Dict[str, List[Tuple[str, Hop]]] = {}
+        for link in self.links:
+            a, b = link.ports
+            owner_a = self._port_owner.get(a.name)
+            owner_b = self._port_owner.get(b.name)
+            if owner_a is None or owner_b is None:
+                continue
+            adjacency.setdefault(owner_a, []).append((owner_b, (link, a)))
+            adjacency.setdefault(owner_b, []).append((owner_a, (link, b)))
+        frontier = [src]
+        came_from: Dict[str, Tuple[str, Hop]] = {src: (src, None)}
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbour, hop in adjacency.get(node, ()):
+                    if neighbour in came_from:
+                        continue
+                    came_from[neighbour] = (node, hop)
+                    if neighbour == dst:
+                        path: List[Hop] = []
+                        cursor = dst
+                        while cursor != src:
+                            cursor, step = came_from[cursor]
+                            path.append(step)
+                        path.reverse()
+                        return path
+                    next_frontier.append(neighbour)
+            frontier = next_frontier
+        raise ValueError(f"no path from {src!r} to {dst!r}")
 
     def connect(
         self,

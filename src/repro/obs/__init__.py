@@ -47,6 +47,7 @@ from repro.obs.bus import (
     sample,
     session,
     span,
+    suppressed,
     traced,
 )
 from repro.obs.metrics import (
@@ -80,6 +81,7 @@ __all__ = [
     "sample",
     "session",
     "span",
+    "suppressed",
     "traced",
     "validate_chrome_trace",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "complete",
     "register_collector",
     "span",
+    "suppressed",
     "traced",
     "CapturedWorker",
 ]
@@ -212,6 +213,34 @@ def complete(name, start_s, end_s, track="spans", **args):
 
 def register_collector(fn):
     _sink.register_collector(fn)
+
+
+class suppressed:
+    """Context manager silencing probes without ending the session.
+
+    Used around *reference* sub-simulations — the flow-level engine's
+    packet-level escalation and calibration runs — whose internal
+    environments start at time zero and have no relation to the outer
+    simulated timeline.  Recording their spans would splice bogus
+    timestamps into the active trace, so the bus is pointed at the null
+    sink for the duration; the enclosing session resumes untouched. ::
+
+        with obs.bus.suppressed():
+            result = packet_fan_in(32, 20_000)
+    """
+
+    __slots__ = ("_saved",)
+
+    def __enter__(self):
+        global _sink
+        self._saved = _sink
+        _sink = NULL_SINK
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _sink
+        _sink = self._saved
+        return False
 
 
 # ----------------------------------------------------------------------

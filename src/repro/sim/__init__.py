@@ -15,6 +15,8 @@ all Trio models in this repository use **seconds**.
 """
 
 from repro.sim.core import (
+    FLOW_LEVEL_PRIORITY,
+    PACKET_LEVEL_PRIORITY,
     Environment,
     Event,
     Interrupt,
@@ -29,7 +31,9 @@ from repro.sim.resources import PriorityStore, Resource, Store
 __all__ = [
     "Environment",
     "Event",
+    "FLOW_LEVEL_PRIORITY",
     "Interrupt",
+    "PACKET_LEVEL_PRIORITY",
     "PriorityStore",
     "Process",
     "Resource",

@@ -48,7 +48,9 @@ from repro.obs import bus as _obs
 __all__ = [
     "Environment",
     "Event",
+    "FLOW_LEVEL_PRIORITY",
     "Interrupt",
+    "PACKET_LEVEL_PRIORITY",
     "Process",
     "SimulationError",
     "Timeout",
@@ -58,6 +60,16 @@ __all__ = [
 
 #: Sentinel stored in :attr:`Event._value` while the event is pending.
 _PENDING = object()
+
+# Level-aware scheduling priorities.  The queue orders same-timestamp
+# events by (priority, insertion order): interrupts run first (0), the
+# packet level and all ordinary events next (1), and the flow/fluid
+# level last (2).  A flow-level re-solve scheduled for time T therefore
+# observes every packet-level state change that lands at T — arrivals,
+# escalated-segment completions — before it allocates rates, without the
+# two levels needing to know about each other's event order.
+PACKET_LEVEL_PRIORITY = 1
+FLOW_LEVEL_PRIORITY = 2
 
 #: Process-wide base seed adopted by environments constructed without an
 #: explicit ``seed`` — how ``python -m repro.harness --seed N`` reaches
@@ -536,6 +548,24 @@ class Environment:
             raise SimulationError(f"negative timeout delay: {delay}")
         self._scheduled = seq = self._scheduled + 1
         heappush(self._queue, (self._now + delay, 1, seq, _Callback(self, fn, args)))
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any,
+                priority: int = PACKET_LEVEL_PRIORITY) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        The flow-level engine computes wake-up instants analytically
+        (projected flow-completion times, arrival timestamps), so it
+        schedules at absolute times rather than relative delays.
+        ``priority`` selects the level lane: :data:`FLOW_LEVEL_PRIORITY`
+        events run after every packet-level event bearing the same
+        timestamp (see the module constants).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})"
+            )
+        self._scheduled = seq = self._scheduled + 1
+        heappush(self._queue, (when, priority, seq, _Callback(self, fn, args)))
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:

@@ -13,6 +13,7 @@ import pytest
 from repro.harness.experiments import (
     _fig14_point,
     _fig15_point,
+    _hybrid_point,
     _loss_point,
     _map_points,
 )
@@ -39,6 +40,25 @@ def test_loss_point_bit_identical_across_runs():
     """The seeded-RNG loss path (drops, retransmissions, replays)."""
     args = (0.05, 6, 64)
     assert _loss_point(args) == _loss_point(args)
+
+
+def test_hybrid_point_bit_identical_across_runs():
+    """The flow-level path: Poisson workload, max-min solves, packet
+    escalations and their lru-cached reference microsims."""
+    args = (300, 0.5, 2e6)
+    assert _hybrid_point(args) == _hybrid_point(args)
+
+
+def test_hybrid_sweep_serial_vs_parallel_bit_identical():
+    """The hybrid sweep crosses the flow/packet boundary (escalated
+    groups re-run packet reference sims inside worker processes); the
+    per-scenario cache reset keeps every point self-contained, so
+    fan-out must be bit-identical to the serial run."""
+    points = [(200, 0.3, 2e6), (200, 0.5, 2e6), (200, 0.7, 2e6)]
+    serial = _map_points(_hybrid_point, points, parallel=None)
+    fanned = _map_points(_hybrid_point, points, parallel=2)
+    assert serial == fanned
+    assert all(row.escalated_total > 0 for row in serial)
 
 
 def test_fig15_serial_vs_parallel_bit_identical():
@@ -115,6 +135,20 @@ def test_seeded_sweep_serial_vs_parallel_bit_identical(restore_default_seed):
     serial = _map_points(_loss_point, points, parallel=None)
     fanned = _map_points(_loss_point, points, parallel=2)
     assert serial == fanned
+
+
+def test_seeded_hybrid_sweep_serial_vs_parallel_bit_identical(
+        restore_default_seed):
+    """--seed reshapes the hybrid workload identically in both layouts,
+    and changing the seed actually changes the sampled flows."""
+    points = [(200, 0.4, 2e6), (200, 0.6, 2e6)]
+    set_default_seed(21)
+    serial = _map_points(_hybrid_point, points, parallel=None)
+    fanned = _map_points(_hybrid_point, points, parallel=2)
+    assert serial == fanned
+    set_default_seed(22)
+    reseeded = _map_points(_hybrid_point, points, parallel=None)
+    assert reseeded != serial
 
 
 def test_trainer_compute_jitter_reproducible():

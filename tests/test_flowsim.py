@@ -1,0 +1,378 @@
+"""Tests for the two-level hybrid flow/packet simulation (repro.flowsim).
+
+Covers the max-min solver's fairness invariants, the fluid engine's
+closed-form completions and level-aware scheduling, the escalation
+boundary (classification, packet-pinned rates, obs visibility), and the
+fluid/packet calibration bridge.
+"""
+
+import pytest
+
+from repro import obs
+from repro.flowsim import (
+    DEFAULT_MTU_PAYLOAD_BYTES,
+    EscalationConfig,
+    EscalationPolicy,
+    FlowSpec,
+    FluidEngine,
+    MIN_RATE_BPS,
+    ScenarioConfig,
+    build_leaf_spine,
+    generate_flows,
+    max_min_rates,
+    packet_fan_in,
+    packet_pair,
+    reset_reference_caches,
+    run_scenario,
+    wire_efficiency,
+)
+from repro.flowsim.calibrate import FlowCalibrationSpec, calibrate
+from repro.flowsim.escalate import _degree_bucket
+from repro.flowsim.scenario import host_name
+from repro.sim import FLOW_LEVEL_PRIORITY, PACKET_LEVEL_PRIORITY, Environment
+
+
+# ---------------------------------------------------------------------------
+# Solver
+# ---------------------------------------------------------------------------
+
+
+class TestMaxMinSolver:
+    def test_equal_share_single_link(self):
+        rates = max_min_rates({1: (0,), 2: (0,), 3: (0,)}, {0: 30e9})
+        assert rates == {1: pytest.approx(10e9), 2: pytest.approx(10e9),
+                         3: pytest.approx(10e9)}
+
+    def test_classic_max_min_example(self):
+        # Flow 1 crosses both links; flow 2 only the narrow one; flow 3
+        # only the wide one.  Flow 2 and flow 1 share the 10G bottleneck
+        # at 5G each; flow 3 gets the wide link's remainder.
+        rates = max_min_rates(
+            {1: (0, 1), 2: (0,), 3: (1,)},
+            {0: 10e9, 1: 20e9},
+        )
+        assert rates[1] == pytest.approx(5e9)
+        assert rates[2] == pytest.approx(5e9)
+        assert rates[3] == pytest.approx(15e9)
+
+    def test_pinned_demand_is_subtracted(self):
+        rates = max_min_rates({1: (0,)}, {0: 10e9}, pinned_bps={0: 4e9})
+        assert rates[1] == pytest.approx(6e9)
+
+    def test_pinned_saturation_hits_rate_floor_not_zero(self):
+        rates = max_min_rates({1: (0,)}, {0: 10e9}, pinned_bps={0: 20e9})
+        assert rates[1] == MIN_RATE_BPS
+
+    def test_no_capacity_left_idle_when_demand_exists(self):
+        rates = max_min_rates(
+            {1: (0,), 2: (0, 1)}, {0: 10e9, 1: 4e9})
+        # Flow 2 is bottlenecked at 4G, so flow 1 takes the rest.
+        assert rates[2] == pytest.approx(4e9)
+        assert rates[1] == pytest.approx(6e9)
+
+    def test_deterministic(self):
+        flows = {i: (i % 3, 3 + i % 2) for i in range(20)}
+        caps = {0: 10e9, 1: 12e9, 2: 8e9, 3: 40e9, 4: 25e9}
+        assert max_min_rates(flows, caps) == max_min_rates(flows, caps)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def _engine(policy=None, **fabric):
+    env = Environment()
+    config = ScenarioConfig(leaves=1, hosts_per_leaf=16, **fabric)
+    topology = build_leaf_spine(env, config)
+    engine = FluidEngine(env, topology,
+                         policy=policy or EscalationPolicy())
+    return env, engine
+
+
+class TestFluidEngine:
+    def test_single_flow_closed_form_fct(self):
+        env, engine = _engine()
+        size = 1e6
+        engine.start_flow(FlowSpec(flow_id=1, src=host_name(0, 0),
+                                   dst=host_name(0, 1),
+                                   size_bytes=size, start_s=0.0))
+        env.run()
+        (record,) = engine.records
+        efficiency = wire_efficiency(DEFAULT_MTU_PAYLOAD_BYTES)
+        transfer = size * 8 / (100e9 * efficiency)
+        assert record.fct_s == pytest.approx(transfer, rel=0.05)
+        assert record.goodput_bps == pytest.approx(size * 8 / record.fct_s)
+        assert record.escalated is None
+
+    def test_two_flows_share_then_speed_up(self):
+        # Two equal flows into one host halve each other's rate; FCT of
+        # the pair is ~2x a lone flow, not 1x (fair share) and the
+        # engine must re-solve at the first departure.
+        env, engine = _engine()
+        size = 1e6
+        for fid, src in ((1, host_name(0, 1)), (2, host_name(0, 2))):
+            engine.start_flow(FlowSpec(flow_id=fid, src=src,
+                                       dst=host_name(0, 0),
+                                       size_bytes=size, start_s=0.0))
+        env.run()
+        assert len(engine.records) == 2
+        lone = size * 8 / (100e9 * wire_efficiency())
+        for record in engine.records:
+            assert record.fct_s == pytest.approx(2 * lone, rel=0.05)
+
+    def test_late_arrival_triggers_resolve(self):
+        env, engine = _engine()
+        size = 4e6
+        engine.start_flow(FlowSpec(flow_id=1, src=host_name(0, 1),
+                                   dst=host_name(0, 0),
+                                   size_bytes=size, start_s=0.0))
+        env.call_at(1e-4, engine.start_flow,
+                    FlowSpec(flow_id=2, src=host_name(0, 2),
+                             dst=host_name(0, 0),
+                             size_bytes=size, start_s=1e-4))
+        env.run()
+        first = next(r for r in engine.records if r.flow_id == 1)
+        lone = size * 8 / (100e9 * wire_efficiency())
+        # Flow 1 ran alone for 1e-4 s, then shared: slower than a lone
+        # run but faster than full-time sharing.
+        assert lone < first.fct_s < 2 * lone
+
+    def test_flow_level_events_run_after_packet_level(self):
+        env = Environment()
+        order = []
+        env.call_at(1.0, lambda: order.append("flow"),
+                    priority=FLOW_LEVEL_PRIORITY)
+        env.call_at(1.0, lambda: order.append("packet"),
+                    priority=PACKET_LEVEL_PRIORITY)
+        env.run()
+        assert order == ["packet", "flow"]
+
+    def test_same_timestamp_arrivals_coalesce_into_one_solve(self):
+        env, engine = _engine()
+        for fid in range(8):
+            env.call_at(0.0, engine.start_flow,
+                        FlowSpec(flow_id=fid, src=host_name(0, 1 + fid),
+                                 dst=host_name(0, 0),
+                                 size_bytes=2e5, start_s=0.0))
+        env.run()
+        # One solve for the batch arrival + one per completion batch,
+        # not one per arrival.
+        assert engine.solves <= 3
+
+    def test_duplicate_flow_id_rejected(self):
+        env, engine = _engine()
+        spec = FlowSpec(flow_id=1, src=host_name(0, 0),
+                        dst=host_name(0, 1), size_bytes=1e4, start_s=0.0)
+        engine.start_flow(spec)
+        with pytest.raises(ValueError, match="duplicate flow id"):
+            engine.start_flow(spec)
+
+    def test_fluid_state_cleaned_up_after_completion(self):
+        env, engine = _engine()
+        engine.start_flow(FlowSpec(flow_id=1, src=host_name(0, 0),
+                                   dst=host_name(0, 1),
+                                   size_bytes=1e5, start_s=0.0))
+        env.run()
+        assert not engine.active
+        src = engine.topology.hosts[host_name(0, 0)]
+        dst = engine.topology.hosts[host_name(0, 1)]
+        assert not src.fluid_tx_flows and not dst.fluid_rx_flows
+        assert src.fluid_tx_bytes == pytest.approx(1e5)
+        assert dst.fluid_rx_bytes == pytest.approx(1e5)
+        for link in engine.topology.links:
+            for port in link.ports:
+                assert link.fluid_load_bps(port) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Escalation boundary
+# ---------------------------------------------------------------------------
+
+
+class TestEscalation:
+    def test_degree_bucketing(self):
+        assert _degree_bucket(1) == 2
+        assert _degree_bucket(2) == 2
+        assert _degree_bucket(3) == 4
+        assert _degree_bucket(12) == 16
+        assert _degree_bucket(100) == 32  # clamped
+
+    def test_incast_burst_escalates_past_threshold(self):
+        policy = EscalationPolicy(EscalationConfig(incast_degree=4))
+        env, engine = _engine(policy=policy)
+        for fid in range(8):
+            env.call_at(0.0, engine.start_flow,
+                        FlowSpec(flow_id=fid, src=host_name(0, 1 + fid),
+                                 dst=host_name(0, 0),
+                                 size_bytes=4e4, start_s=0.0))
+        env.run()
+        escalated = [r for r in engine.records if r.escalated == "incast"]
+        # Arrivals below the fan-in threshold stay fluid; the rest of
+        # the burst crosses the boundary.
+        assert len(escalated) == 5
+        assert engine.escalations == {"incast": 5}
+
+    def test_large_flows_stay_fluid_inside_incast(self):
+        policy = EscalationPolicy(EscalationConfig(
+            incast_degree=4, incast_max_flow_bytes=1e5))
+        env, engine = _engine(policy=policy)
+        for fid in range(8):
+            env.call_at(0.0, engine.start_flow,
+                        FlowSpec(flow_id=fid, src=host_name(0, 1 + fid),
+                                 dst=host_name(0, 0),
+                                 size_bytes=5e6, start_s=0.0))
+        env.run()
+        assert engine.escalations == {}
+
+    def test_straggler_host_escalates_and_is_rate_limited(self):
+        policy = EscalationPolicy(EscalationConfig(
+            straggler_hosts=(host_name(0, 0),),
+            straggler_tx_overhead_s=2e-6,
+        ))
+        env, engine = _engine(policy=policy)
+        engine.start_flow(FlowSpec(flow_id=1, src=host_name(0, 0),
+                                   dst=host_name(0, 1),
+                                   size_bytes=1e6, start_s=0.0))
+        env.run()
+        (record,) = engine.records
+        assert record.escalated == "straggler"
+        # A 2 us/packet host cost caps a 1458 B payload stream near
+        # 5.8 Gbps — far below the 100G access link.
+        assert record.goodput_bps < 10e9
+
+    def test_aggregation_contention_escalates(self):
+        policy = EscalationPolicy(EscalationConfig(
+            pfe_contention_threshold=4))
+        env, engine = _engine(policy=policy)
+        for fid in range(6):
+            env.call_at(0.0, engine.start_flow,
+                        FlowSpec(flow_id=fid, src=host_name(0, 1 + fid),
+                                 dst=host_name(0, 0),
+                                 size_bytes=5e4, start_s=0.0,
+                                 service="aggregation"))
+        env.run()
+        assert engine.escalations.get("pfe-hash") == 3
+
+    def test_escalations_visible_through_obs(self):
+        session = obs.enable(scope="test")
+        try:
+            policy = EscalationPolicy(EscalationConfig(incast_degree=2))
+            env, engine = _engine(policy=policy)
+            for fid in range(4):
+                env.call_at(0.0, engine.start_flow,
+                            FlowSpec(flow_id=fid,
+                                     src=host_name(0, 1 + fid),
+                                     dst=host_name(0, 0),
+                                     size_bytes=4e4, start_s=0.0))
+            env.run()
+        finally:
+            obs.disable()
+        names = set(session.registry.snapshot()["metrics"])
+        assert "flowsim.escalations" in names
+        assert "flowsim.fct_s" in names
+        chrome = session.tracer.to_chrome()
+        tracks = {event["args"]["name"] for event in chrome["traceEvents"]
+                  if event["ph"] == "M" and event["name"] == "thread_name"}
+        assert {"flowsim/escalations", "flowsim/active_flows"} <= tracks
+        spans = [event for event in chrome["traceEvents"]
+                 if event["ph"] == "X"
+                 and event["name"].startswith("escalated:")]
+        assert spans and all(event["dur"] > 0 for event in spans)
+
+    def test_reference_runs_do_not_pollute_active_trace(self):
+        """Packet reference microsims run with obs suppressed: their
+        internal time-zero timelines must not splice into the trace."""
+        reset_reference_caches()
+        session = obs.enable(scope="test")
+        try:
+            before = len(session.tracer.export()["events"])
+            packet_fan_in(2, 20_000)
+            after = len(session.tracer.export()["events"])
+        finally:
+            obs.disable()
+        assert before == after
+
+
+# ---------------------------------------------------------------------------
+# Packet references
+# ---------------------------------------------------------------------------
+
+
+class TestPacketReferences:
+    def test_pair_fct_close_to_serialisation_time(self):
+        result = packet_pair(100_000, bandwidth_bps=100e9,
+                             propagation_s=1e-6)
+        wire = 100_000 * 8 / (100e9 * wire_efficiency())
+        # FCT = serialisation + 2 hops of propagation + pipeline fill
+        # (one extra frame per store-and-forward stage).
+        assert wire < result.mean_fct_s < wire + 3e-6
+
+    def test_fan_in_degrades_per_flow_fct(self):
+        lone = packet_pair(20_000, bandwidth_bps=100e9)
+        crowd = packet_fan_in(8, 20_000, bandwidth_bps=100e9)
+        assert crowd.mean_fct_s > 3 * lone.mean_fct_s
+        # Aggregate goodput still approaches the bottleneck capacity.
+        assert crowd.aggregate_goodput_bps > 0.5 * 100e9
+
+    def test_reference_results_are_cached_and_deterministic(self):
+        reset_reference_caches()
+        first = packet_fan_in(4, 20_000)
+        assert packet_fan_in(4, 20_000) is first  # lru hit
+        reset_reference_caches()
+        again = packet_fan_in(4, 20_000)
+        assert again == first and again is not first
+
+
+# ---------------------------------------------------------------------------
+# Scenario + calibration
+# ---------------------------------------------------------------------------
+
+
+class TestScenario:
+    def test_generate_flows_is_seed_deterministic(self):
+        config = ScenarioConfig(num_flows=200)
+        flows_a = generate_flows(Environment(seed=5), config)
+        flows_b = generate_flows(Environment(seed=5), config)
+        flows_c = generate_flows(Environment(seed=6), config)
+        assert flows_a == flows_b
+        assert flows_a != flows_c
+        assert len(flows_a) == 200
+
+    def test_run_scenario_completes_all_flows(self):
+        result = run_scenario(ScenarioConfig(num_flows=300))
+        assert result.summary["flows"] == 300
+        assert result.simulated_payload_bytes > 0
+        assert result.sim_seconds > 0
+        # The canonical scenario exercises every escalation reason.
+        assert set(result.escalations) == {"incast", "straggler",
+                                           "pfe-hash"}
+
+    def test_find_path_routes_across_leaves(self):
+        env = Environment()
+        topology = build_leaf_spine(env, ScenarioConfig())
+        same_leaf = topology.find_path(host_name(0, 0), host_name(0, 1))
+        cross_leaf = topology.find_path(host_name(0, 0), host_name(1, 0))
+        assert len(same_leaf) == 2       # host -> leaf -> host
+        assert len(cross_leaf) == 4      # host -> leaf -> spine -> leaf -> host
+        with pytest.raises(ValueError, match="unknown node"):
+            topology.find_path("nope", host_name(0, 0))
+
+
+class TestCalibration:
+    def test_all_cases_within_band(self):
+        cases = calibrate(FlowCalibrationSpec())
+        assert set(cases) == {"pair", "shared", "incast"}
+        for case in cases.values():
+            assert case.within_band, (
+                f"{case.case}: fluid {case.fluid_value:.4g} vs packet "
+                f"{case.packet_value:.4g} ({case.ratio:.2f}x) outside "
+                f"[{1 / case.band:.2f}x, {case.band:.2f}x]"
+            )
+
+    def test_cli_werror_passes(self, capsys):
+        from repro.flowsim.calibrate import main
+
+        assert main(["--werror"]) == 0
+        out = capsys.readouterr().out
+        assert "all cases within the calibration band" in out
