@@ -46,10 +46,11 @@ from repro.microcode.compiler import (
 )
 from repro.microcode.disasm import disassemble
 from repro.microcode.interp import MicrocodeExecutor
+from repro.microcode.intrinsics import SHARED_INTRINSICS, IntrinsicSpec
 from repro.microcode.programs import BUILTIN_PROGRAMS, FILTER_PROGRAM_SOURCE
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # Lazy (PEP 562) so `python -m repro.microcode.analysis` does not
     # trip runpy's found-in-sys.modules warning.
     if name in ("AnalysisReport", "analyze_program"):
@@ -66,11 +67,13 @@ __all__ = [
     "CompiledProgram",
     "Diagnostic",
     "FILTER_PROGRAM_SOURCE",
+    "IntrinsicSpec",
     "LexError",
     "MicrocodeError",
     "MicrocodeExecutor",
     "MicrocodeRuntimeError",
     "ParseError",
+    "SHARED_INTRINSICS",
     "SourceSpan",
     "StructLayout",
     "Token",

@@ -30,6 +30,16 @@ instructions — one node per ``InstructionDef``, edges from ``goto``,
   pointers whose extent leaves thread-local memory (``MC301``), field
   accesses beyond local memory (``MC302``), and accesses to fields the
   struct layout does not define (``MC303``).
+* **Shared-state atomicity (MC4xx)** — classifies every intrinsic
+  memory access (:data:`repro.microcode.intrinsics.SHARED_INTRINSICS`)
+  as thread-local (LMEM) vs shared (DMEM / counter space) and walks the
+  paths from the entry: a plain load whose value flows into a plain
+  store of an overlapping shared location is a lost-update race
+  (``MC401`` — hundreds of PPE threads run this code unsynchronized,
+  §2.3); a plain read and plain write of overlapping extents on one
+  path without an intervening RMW barrier is a torn access (``MC402``);
+  an RMW op whose address provably resolves to thread-local memory is
+  needless serialization at the RMW engines (``MC403``, a perf note).
 * **Budget accounting** — aggregates each instruction's
   :class:`~repro.microcode.compiler.InstructionBudget` along worst-case
   CFG paths, reporting the peak register/local-memory operand traffic a
@@ -52,6 +62,12 @@ code        severity   meaning
 ``MC301``   error      pointer binding extends beyond local memory
 ``MC302``   error      field access extends beyond local memory
 ``MC303``   error      field not defined by the pointer's struct layout
+``MC401``   error      shared load→modify→store not routed through an RMW
+                       op (lost-update race)
+``MC402``   error      shared read+write of overlapping extents on one
+                       path with no RMW barrier (torn access)
+``MC403``   warning    RMW op on a provably thread-local location
+                       (needless serialization)
 ==========  =========  ====================================================
 
 Run it from the command line with rustc-style output::
@@ -79,6 +95,7 @@ from repro.microcode.errors import (
     SourceSpan,
     render_diagnostics,
 )
+from repro.microcode.intrinsics import SHARED_INTRINSICS, IntrinsicSpec
 
 __all__ = [
     "AnalysisReport",
@@ -144,7 +161,7 @@ class _BodyWalker:
             completes = self.walk_stmt(stmt)
         return completes
 
-    def walk_stmt(self, stmt) -> bool:
+    def walk_stmt(self, stmt: object) -> bool:
         node = self.node
         if isinstance(stmt, ast.Goto):
             node.successors.setdefault(stmt.label, stmt)
@@ -177,7 +194,7 @@ class _BodyWalker:
         return True  # Assign / LocalConst / CallStmt
 
 
-def _span(stmt, filename: str) -> Optional[SourceSpan]:
+def _span(stmt: object, filename: str) -> Optional[SourceSpan]:
     line = getattr(stmt, "line", 0)
     return SourceSpan(line, filename=filename) if line else None
 
@@ -420,7 +437,8 @@ def _check_termination(
 # ---------------------------------------------------------------------------
 
 
-def _expr_reg_reads(expr, reg_map: Dict[str, int], out: List[ast.Name]):
+def _expr_reg_reads(expr: object, reg_map: Dict[str, int],
+                    out: List[ast.Name]) -> None:
     if isinstance(expr, ast.Name):
         if expr.ident in reg_map:
             out.append(expr)
@@ -492,7 +510,7 @@ class _DefUse:
             self._walk_must(self.cfg[label].instr.body, set(state), {},
                             flagged, report=True)
 
-    def _walk_must(self, body, defined: Set[str],
+    def _walk_must(self, body: Sequence[object], defined: Set[str],
                    outs: Dict[str, frozenset],
                    flagged: Set[Tuple[int, str]], report: bool) -> bool:
         """Returns True when the sequence may complete; updates ``outs``
@@ -519,8 +537,17 @@ class _DefUse:
                 self._check_reads(stmt.expr, defined, flagged, report)
                 continue
             if isinstance(stmt, ast.CallStmt):
-                for arg in stmt.args:
-                    self._check_reads(arg, defined, flagged, report)
+                spec = SHARED_INTRINSICS.get(stmt.name)
+                out_reg = spec.out_reg if spec is not None else None
+                for index, arg in enumerate(stmt.args):
+                    if index != out_reg:
+                        self._check_reads(arg, defined, flagged, report)
+                if out_reg is not None and out_reg < len(stmt.args):
+                    arg = stmt.args[out_reg]
+                    if isinstance(arg, ast.Name) and arg.ident in self.regs:
+                        # The intrinsic writes this register (the XTXN
+                        # reply lands there) — a definition, not a read.
+                        defined.add(arg.ident)
                 continue
             if isinstance(stmt, ast.CallSub):
                 # Callee reads run under the caller's defined set; its
@@ -587,7 +614,7 @@ class _DefUse:
         self._walk_must(self.cfg[label].instr.body, set(defined), outs,
                         flagged, report)
 
-    def _check_reads(self, expr, defined: Set[str],
+    def _check_reads(self, expr: object, defined: Set[str],
                      flagged: Set[Tuple[int, str]], report: bool) -> None:
         reads: List[ast.Name] = []
         _expr_reg_reads(expr, self.program.reg_map, reads)
@@ -633,7 +660,8 @@ class _DefUse:
             self._body_live(self.cfg[label].instr.body, live_in, all_regs,
                             report=True)
 
-    def _body_live(self, body, live_in: Dict[str, frozenset],
+    def _body_live(self, body: Sequence[object],
+                   live_in: Dict[str, frozenset],
                    all_regs: frozenset, report: bool) -> frozenset:
         """Live registers at the start of ``body``.
 
@@ -644,16 +672,18 @@ class _DefUse:
         return self._seq_live(list(body), live_in, all_regs, all_regs,
                               report)
 
-    def _seq_live(self, stmts, live_in, all_regs, live_out, report
-                  ) -> frozenset:
+    def _seq_live(self, stmts: Sequence[object],
+                  live_in: Dict[str, frozenset], all_regs: frozenset,
+                  live_out: frozenset, report: bool) -> frozenset:
         live = set(live_out)
         for stmt in reversed(stmts):
             live = self._stmt_live(stmt, live_in, all_regs,
                                    frozenset(live), report)
         return frozenset(live)
 
-    def _stmt_live(self, stmt, live_in, all_regs, live_out, report
-                   ) -> Set[str]:
+    def _stmt_live(self, stmt: object, live_in: Dict[str, frozenset],
+                   all_regs: frozenset, live_out: frozenset,
+                   report: bool) -> Set[str]:
         live = set(live_out)
         if isinstance(stmt, ast.Goto):
             if stmt.label in self.extern or stmt.label not in self.cfg:
@@ -680,8 +710,17 @@ class _DefUse:
             self._add_reads(stmt.expr, live)
             return live
         if isinstance(stmt, ast.CallStmt):
-            for arg in stmt.args:
-                self._add_reads(arg, live)
+            spec = SHARED_INTRINSICS.get(stmt.name)
+            out_reg = spec.out_reg if spec is not None else None
+            if out_reg is not None and out_reg < len(stmt.args):
+                arg = stmt.args[out_reg]
+                if isinstance(arg, ast.Name) and arg.ident in self.regs:
+                    # Written, not read.  No MC102 here: the load's XTXN
+                    # is a real memory access even if the reply is unused.
+                    live.discard(arg.ident)
+            for index, arg in enumerate(stmt.args):
+                if index != out_reg:
+                    self._add_reads(arg, live)
             return live
         if isinstance(stmt, ast.CallSub):
             # The callee may read any register before control returns.
@@ -709,7 +748,7 @@ class _DefUse:
             return merged
         return live
 
-    def _add_reads(self, expr, live: Set[str]) -> None:
+    def _add_reads(self, expr: object, live: Set[str]) -> None:
         reads: List[ast.Name] = []
         _expr_reg_reads(expr, self.program.reg_map, reads)
         live.update(name.ident for name in reads)
@@ -761,7 +800,7 @@ class _PointerChecker:
 
     # -- collection -------------------------------------------------------
 
-    def _collect(self, body) -> None:
+    def _collect(self, body: Sequence[object]) -> None:
         for stmt in body:
             if isinstance(stmt, ast.LocalConst):
                 value = self._eval_ptr(stmt.expr)
@@ -792,7 +831,7 @@ class _PointerChecker:
                 for case in stmt.cases:
                     self._collect(case.body)
 
-    def _eval_ptr(self, expr) -> Optional[_AbstractPtr]:
+    def _eval_ptr(self, expr: object) -> Optional[_AbstractPtr]:
         """Abstract pointer value of ``expr``, or None when scalar/unknown."""
         if isinstance(expr, ast.Name):
             values = self.env.get(expr.ident)
@@ -814,7 +853,7 @@ class _PointerChecker:
                 return _AbstractPtr(None, right.offset + delta)
         return None
 
-    def _eval_int(self, expr) -> Optional[int]:
+    def _eval_int(self, expr: object) -> Optional[int]:
         if isinstance(expr, ast.IntLit):
             return expr.value
         if isinstance(expr, ast.SizeOf):
@@ -838,7 +877,7 @@ class _PointerChecker:
 
     # -- access checks ----------------------------------------------------
 
-    def _check_body(self, body) -> None:
+    def _check_body(self, body: Sequence[object]) -> None:
         for stmt in body:
             if isinstance(stmt, ast.Assign):
                 self._check_expr(stmt.expr)
@@ -858,7 +897,7 @@ class _PointerChecker:
                 for case in stmt.cases:
                     self._check_body(case.body)
 
-    def _check_expr(self, expr) -> None:
+    def _check_expr(self, expr: object) -> None:
         if isinstance(expr, ast.Member):
             self._check_member(expr)
         elif isinstance(expr, ast.Unary):
@@ -909,6 +948,392 @@ class _PointerChecker:
                     "thread-local memory (§2.2)",
                     _span(member, self.filename),
                 ))
+
+
+# ---------------------------------------------------------------------------
+# Shared-state atomicity (MC4xx)
+# ---------------------------------------------------------------------------
+
+
+#: Statement-walk budget for the race pass.  Paths fork at every branch;
+#: real Microcode programs are tiny (the interpreter refuses more than
+#: 100k executed instructions), so a generous cap keeps the pass linear
+#: in practice while bounding pathological branch ladders.
+_RACE_WALK_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class _AccessKey:
+    """Abstract address of one shared-memory access.
+
+    ``kind`` is ``"num"`` (statically known byte extent), ``"sym"``
+    (canonical expression text — equal text means same address), or
+    ``"lmem"`` (provably thread-local).  Two keys may alias only when
+    both are numeric with overlapping extents in the same space, or both
+    symbolic with identical text in the same space; a numeric and a
+    symbolic key are conservatively treated as disjoint.
+    """
+
+    kind: str
+    space: str = ""
+    lo: int = 0
+    hi: int = 0
+    text: str = ""
+
+    def aliases(self, other: "_AccessKey") -> bool:
+        if self.kind == "num" and other.kind == "num":
+            return (self.space == other.space
+                    and self.lo < other.hi and other.lo < self.hi)
+        if self.kind == "sym" and other.kind == "sym":
+            return self.space == other.space and self.text == other.text
+        return False
+
+    def describe(self) -> str:
+        if self.kind == "num":
+            return f"{self.space}[{self.lo:#x}..{self.hi:#x})"
+        if self.kind == "sym":
+            return f"{self.space}[{self.text}]"
+        return "thread-local memory"
+
+
+@dataclass
+class _SharedAccess:
+    """One pending plain access on the current path."""
+
+    key: _AccessKey
+    stmt: ast.CallStmt
+    spec: IntrinsicSpec
+
+
+class _RaceState:
+    """Per-path state of the race walk; forked at every branch."""
+
+    __slots__ = ("visited", "reads", "writes", "taint", "consts", "syms")
+
+    def __init__(self) -> None:
+        self.visited: Set[str] = set()
+        self.reads: List[_SharedAccess] = []
+        self.writes: List[_SharedAccess] = []
+        # reg name -> plain loads whose value (transitively) reached it
+        self.taint: Dict[str, List[_SharedAccess]] = {}
+        self.consts: Dict[str, int] = {}   # local consts with known value
+        self.syms: Dict[str, str] = {}     # local consts, canonical text
+
+    def fork(self) -> "_RaceState":
+        other = _RaceState.__new__(_RaceState)
+        other.visited = set(self.visited)
+        other.reads = list(self.reads)
+        other.writes = list(self.writes)
+        other.taint = {reg: list(accs) for reg, accs in self.taint.items()}
+        other.consts = dict(self.consts)
+        other.syms = dict(self.syms)
+        return other
+
+
+class _RaceChecker:
+    """Path-sensitive lost-update / torn-access detection (MC4xx).
+
+    Walks every path from the entry (each instruction label visited at
+    most once per path, subroutine bodies inlined) carrying the plain
+    shared reads and writes still "pending" — not yet separated by an
+    aliasing RMW op — plus a register taint map tracking which plain
+    loads each register's value derives from.  A plain store whose value
+    is tainted by an aliasing load is the classic lost update (MC401); a
+    plain read and plain write of overlapping extents with no RMW
+    barrier in between is a torn access (MC402).  RMW ops are the §2.3
+    contract and never conflict — but an RMW whose address provably
+    resolves into LMEM serializes at an engine for state no other thread
+    can see (MC403).
+    """
+
+    def __init__(self, program: CompiledProgram, cfg: Dict[str, CFGNode],
+                 lmem_bytes: int, diagnostics: List[Diagnostic],
+                 filename: str):
+        self.program = program
+        self.cfg = cfg
+        self.diagnostics = diagnostics
+        self.filename = filename
+        self.extern = set(program.extern_labels)
+        self._budget = _RACE_WALK_BUDGET
+        self._flagged: Set[Tuple[str, int, int]] = set()
+        # Reuse the pointer checker's abstract environment to decide
+        # whether an address expression is an LMEM pointer (MC403).
+        self._ptrs = _PointerChecker(program, lmem_bytes, [], filename)
+        for instr in program.instructions.values():
+            self._ptrs._collect(instr.body)
+
+    def run(self) -> None:
+        state = _RaceState()
+        self._walk_label(self.program.entry, state)
+
+    # -- walking -----------------------------------------------------------
+
+    def _walk_label(self, label: str, state: _RaceState) -> None:
+        if label in self.extern or label not in self.cfg:
+            return
+        if label in state.visited or self._budget <= 0:
+            return
+        state.visited.add(label)
+        self._walk_body(self.cfg[label].instr.body, [state], in_sub=False)
+
+    def _walk_body(self, body: Sequence[object], states: List[_RaceState],
+                   in_sub: bool) -> List[_RaceState]:
+        """Walk ``body`` with each state; returns the states that fall
+        through (or ``return``, when ``in_sub``) to whatever follows."""
+        for stmt in body:
+            if not states:
+                return []
+            next_states: List[_RaceState] = []
+            for st in states:
+                next_states.extend(self._walk_stmt(stmt, st, in_sub))
+            states = next_states
+        return states
+
+    def _walk_stmt(self, stmt: object, state: _RaceState,
+                   in_sub: bool) -> List[_RaceState]:
+        self._budget -= 1
+        if self._budget <= 0:
+            return []
+        if isinstance(stmt, ast.Goto):
+            self._walk_label(stmt.label, state)
+            return []
+        if isinstance(stmt, ast.ExitStmt):
+            return []
+        if isinstance(stmt, ast.ReturnStmt):
+            # Inside an inlined subroutine a return continues in the
+            # caller; at top level it ends the thread.
+            return [state] if in_sub else []
+        if isinstance(stmt, ast.CallSub):
+            if stmt.label in state.visited or stmt.label not in self.cfg:
+                return [state]  # recursion: MC204's department
+            state.visited.add(stmt.label)
+            body = self.cfg[stmt.label].instr.body
+            out = self._walk_body(body, [state], in_sub=True)
+            for st in out:
+                st.visited.discard(stmt.label)
+            return out
+        if isinstance(stmt, ast.If):
+            else_state = state.fork()
+            out = self._walk_body(stmt.then_body, [state], in_sub)
+            if stmt.else_body:
+                out.extend(self._walk_body(stmt.else_body, [else_state],
+                                           in_sub))
+            else:
+                out.append(else_state)
+            return out
+        if isinstance(stmt, ast.Switch):
+            out: List[_RaceState] = []
+            has_default = any(c.values is None for c in stmt.cases)
+            for case in stmt.cases:
+                out.extend(self._walk_body(case.body, [state.fork()],
+                                           in_sub))
+            if not has_default:
+                out.append(state)
+            return out
+        if isinstance(stmt, ast.LocalConst):
+            value = self._eval_int(stmt.expr, state)
+            if value is not None:
+                state.consts[stmt.name] = value
+            state.syms[stmt.name] = self._canonical(stmt.expr, state)
+            return [state]
+        if isinstance(stmt, ast.Assign):
+            self._propagate_taint(stmt, state)
+            return [state]
+        if isinstance(stmt, ast.CallStmt):
+            self._visit_intrinsic(stmt, state)
+            return [state]
+        return [state]
+
+    # -- the checks --------------------------------------------------------
+
+    def _visit_intrinsic(self, stmt: ast.CallStmt, state: _RaceState) -> None:
+        spec = SHARED_INTRINSICS.get(stmt.name)
+        if spec is None or spec.addr_arg >= len(stmt.args):
+            return
+        key = self._key_for(stmt.args[spec.addr_arg], spec, state)
+
+        if spec.access == "rmw":
+            if key.kind == "lmem":
+                self._emit(Diagnostic(
+                    "warning", "MC403",
+                    f"{stmt.name} targets provably thread-local memory: "
+                    "RMW engines serialize every caller for state no "
+                    "other thread can observe",
+                    _span(stmt, self.filename),
+                    notes=["LMEM is private to the PPE thread (§2.2); "
+                           "a plain field update costs no engine trip"],
+                ))
+                return
+            # The RMW op is the barrier: pending plain accesses to the
+            # same location are now ordered through the engine.
+            state.reads = [a for a in state.reads
+                           if not a.key.aliases(key)]
+            state.writes = [a for a in state.writes
+                            if not a.key.aliases(key)]
+            return
+        if key.kind == "lmem":
+            return  # plain access to LMEM is thread-private, always fine
+
+        if spec.access == "read":
+            for prior in state.writes:
+                if prior.key.aliases(key):
+                    self._emit(Diagnostic(
+                        "error", "MC402",
+                        f"plain {stmt.name} of {key.describe()} follows a "
+                        f"plain {prior.spec.name} of the same shared "
+                        "location with no RMW barrier in between",
+                        _span(stmt, self.filename),
+                        notes=[f"the write is at line {prior.stmt.line}; "
+                               "another thread's access can interleave "
+                               "between the two plain XTXNs (§2.3)"],
+                    ))
+                    break
+            access = _SharedAccess(key=key, stmt=stmt, spec=spec)
+            state.reads.append(access)
+            out_reg = spec.out_reg
+            if out_reg is not None and out_reg < len(stmt.args):
+                arg = stmt.args[out_reg]
+                if isinstance(arg, ast.Name):
+                    state.taint[arg.ident] = [access]
+            return
+
+        # spec.access == "write"
+        tainting: List[_SharedAccess] = []
+        for index in spec.value_args:
+            if index < len(stmt.args):
+                tainting.extend(self._expr_taint(stmt.args[index], state))
+        lost = [acc for acc in tainting if acc.key.aliases(key)]
+        if lost:
+            load = lost[0]
+            self._emit(Diagnostic(
+                "error", "MC401",
+                f"lost update: {stmt.name} writes {key.describe()} with a "
+                f"value derived from the plain {load.spec.name} of the "
+                "same shared location — the read-modify-write is not "
+                "atomic",
+                _span(stmt, self.filename),
+                notes=[f"the load is at line {load.stmt.line}; any other "
+                       "thread's update between load and store is "
+                       "silently overwritten — route the modification "
+                       "through an RMW op (DmemAdd32/DmemSwap, §2.3)"],
+            ))
+            consumed = set(map(id, lost))
+            state.reads = [a for a in state.reads
+                           if id(a) not in consumed]
+        else:
+            for prior in state.reads:
+                if prior.key.aliases(key):
+                    self._emit(Diagnostic(
+                        "error", "MC402",
+                        f"plain {stmt.name} of {key.describe()} follows a "
+                        f"plain {prior.spec.name} of the same shared "
+                        "location with no RMW barrier in between",
+                        _span(stmt, self.filename),
+                        notes=[f"the read is at line {prior.stmt.line}; "
+                               "if the write depends on what was read, "
+                               "another thread's update in between is "
+                               "lost (§2.3)"],
+                    ))
+                    break
+        state.writes.append(_SharedAccess(key=key, stmt=stmt, spec=spec))
+
+    def _emit(self, diagnostic: Diagnostic) -> None:
+        line = diagnostic.span.line if diagnostic.span else 0
+        column = diagnostic.span.column if diagnostic.span else 0
+        dedup = (diagnostic.code, line, column)
+        if dedup in self._flagged:
+            return  # the same racy pair, reached along another path
+        self._flagged.add(dedup)
+        self.diagnostics.append(diagnostic)
+
+    # -- taint -------------------------------------------------------------
+
+    def _propagate_taint(self, stmt: ast.Assign, state: _RaceState) -> None:
+        sources = self._expr_taint(stmt.expr, state)
+        target = stmt.target
+        if isinstance(target, ast.Name) and target.ident in self.program.reg_map:
+            if sources:
+                state.taint[target.ident] = sources
+            else:
+                state.taint.pop(target.ident, None)
+        # Member targets park the value in LMEM; we do not track taint
+        # through thread-local memory (a deliberate under-approximation —
+        # MC401 stays a high-confidence error).
+
+    def _expr_taint(self, expr: object, state: _RaceState) -> List[_SharedAccess]:
+        reads: List[ast.Name] = []
+        _expr_reg_reads(expr, self.program.reg_map, reads)
+        sources: List[_SharedAccess] = []
+        seen: Set[int] = set()
+        for name in reads:
+            for access in state.taint.get(name.ident, ()):
+                if id(access) not in seen:
+                    seen.add(id(access))
+                    sources.append(access)
+        return sources
+
+    # -- address abstraction ----------------------------------------------
+
+    def _key_for(self, expr: object, spec: IntrinsicSpec,
+                 state: _RaceState) -> _AccessKey:
+        if self._ptrs._eval_ptr(expr) is not None:
+            return _AccessKey(kind="lmem")
+        value = self._eval_int(expr, state)
+        if value is not None:
+            lo = value * spec.addr_scale
+            return _AccessKey(kind="num", space=spec.space,
+                              lo=lo, hi=lo + spec.size_bytes)
+        return _AccessKey(kind="sym", space=spec.space,
+                          text=self._canonical(expr, state))
+
+    def _eval_int(self, expr: object, state: _RaceState) -> Optional[int]:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.SizeOf):
+            layout = self.program.structs.get(expr.type_name)
+            return layout.size_bytes if layout else None
+        if isinstance(expr, ast.Name):
+            if expr.ident in state.consts:
+                return state.consts[expr.ident]
+            return self.program.consts.get(expr.ident)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            value = self._eval_int(expr.operand, state)
+            return -value if value is not None else None
+        if isinstance(expr, ast.Binary):
+            left = self._eval_int(expr.left, state)
+            right = self._eval_int(expr.right, state)
+            if left is None or right is None:
+                return None
+            try:
+                return apply_binary(expr.op, left, right)
+            except MicrocodeError:
+                return None
+        return None
+
+    def _canonical(self, expr: object, state: _RaceState) -> str:
+        """Canonical text for an address we cannot fold to an integer.
+
+        Local-const names are expanded to their defining expression so
+        two intrinsics addressing through the same ``const :`` binding —
+        or through its spelled-out equivalent — compare equal.
+        """
+        value = self._eval_int(expr, state)
+        if value is not None:
+            return str(value)
+        if isinstance(expr, ast.Name):
+            return state.syms.get(expr.ident, expr.ident)
+        if isinstance(expr, ast.Unary):
+            return f"({expr.op}{self._canonical(expr.operand, state)})"
+        if isinstance(expr, ast.Binary):
+            left = self._canonical(expr.left, state)
+            right = self._canonical(expr.right, state)
+            return f"({left}{expr.op}{right})"
+        if isinstance(expr, ast.Member):
+            base = self._canonical(expr.base, state)
+            arrow = "->" if expr.arrow else "."
+            return f"{base}{arrow}{expr.field_name}"
+        from repro.microcode.disasm import format_expr
+        return format_expr(expr)
 
 
 # ---------------------------------------------------------------------------
@@ -1007,6 +1432,8 @@ def analyze_program(
 
     _PointerChecker(program, lmem_bytes, diagnostics, filename).run()
 
+    _RaceChecker(program, cfg, lmem_bytes, diagnostics, filename).run()
+
     return AnalysisReport(
         entry=program.entry,
         diagnostics=diagnostics,
@@ -1091,7 +1518,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 continue
             reports.append((f"builtin:{name}", report))
 
+    # Deterministic output: reports stay in argument order (then builtin
+    # definition order); within a report, diagnostics sort by span and
+    # code, so two runs over the same corpus are byte-identical.
     for path, report in reports:
+        report.diagnostics.sort(key=_diagnostic_sort_key)
         print(f"== {path}")
         print(report.render())
         print()
@@ -1099,6 +1530,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             failed = True
 
     return 1 if failed else 0
+
+
+def _diagnostic_sort_key(diagnostic: Diagnostic) -> Tuple[int, int, str]:
+    span = diagnostic.span
+    line = span.line if span else 0
+    column = span.column if span else 0
+    return (line, column, diagnostic.code)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.microcode import ast_nodes as ast
 from repro.microcode.errors import AnalysisError, CompileError
+from repro.microcode.intrinsics import SHARED_INTRINSICS
 from repro.microcode.layout import StructLayout
 from repro.microcode.parser import parse
 
@@ -254,7 +255,7 @@ class TrioCompiler:
             ptr_map[ptr.name] = (ptr.struct_name, offset)
         return ptr_map
 
-    def _const_eval(self, expr, consts: Dict[str, int],
+    def _const_eval(self, expr: object, consts: Dict[str, int],
                     structs: Dict[str, StructLayout]) -> int:
         if isinstance(expr, ast.IntLit):
             return expr.value
@@ -287,7 +288,7 @@ class TrioCompiler:
 
     def _check_labels(self, instr: ast.InstructionDef,
                       known: Set[str]) -> None:
-        def walk(stmts):
+        def walk(stmts: List[object]) -> None:
             for stmt in stmts:
                 if isinstance(stmt, ast.Goto):
                     if stmt.label not in known:
@@ -311,8 +312,11 @@ class TrioCompiler:
 
         walk(instr.body)
 
-    def _account_stmt(self, stmt, budget: InstructionBudget,
-                      reg_map, ptr_map, consts, structs,
+    def _account_stmt(self, stmt: object, budget: InstructionBudget,
+                      reg_map: Dict[str, int],
+                      ptr_map: Dict[str, Tuple[str, int]],
+                      consts: Dict[str, int],
+                      structs: Dict[str, StructLayout],
                       local_consts: Set[str], instr_name: str) -> None:
         if isinstance(stmt, ast.Assign):
             self._account_expr(stmt.expr, budget, reg_map, ptr_map,
@@ -348,7 +352,25 @@ class TrioCompiler:
                 consts, structs, local_consts, instr_name,
             )
         elif isinstance(stmt, ast.CallStmt):
-            for arg in stmt.args:
+            spec = SHARED_INTRINSICS.get(stmt.name)
+            if spec is not None and len(stmt.args) != spec.arity:
+                raise CompileError(
+                    f"line {stmt.line}: intrinsic {stmt.name} takes "
+                    f"{spec.arity} operand(s), got {len(stmt.args)}"
+                )
+            for index, arg in enumerate(stmt.args):
+                if spec is not None and spec.out_reg == index:
+                    # The destination operand is written, not read, and
+                    # must be a bare register name (assembler-style).
+                    if not (isinstance(arg, ast.Name)
+                            and arg.ident in reg_map):
+                        raise CompileError(
+                            f"line {stmt.line}: {stmt.name} operand "
+                            f"{index} must be a declared register "
+                            "(the XTXN reply lands there)"
+                        )
+                    budget.reg_writes += 1
+                    continue
                 self._account_expr(arg, budget, reg_map, ptr_map, consts,
                                    local_consts, instr_name)
         elif isinstance(stmt, ast.Switch):
@@ -379,8 +401,12 @@ class TrioCompiler:
         else:
             raise CompileError(f"unsupported statement {type(stmt).__name__}")
 
-    def _merge_branch_budgets(self, branches, budget: InstructionBudget,
-                              reg_map, ptr_map, consts, structs,
+    def _merge_branch_budgets(self, branches: List[List[object]],
+                              budget: InstructionBudget,
+                              reg_map: Dict[str, int],
+                              ptr_map: Dict[str, Tuple[str, int]],
+                              consts: Dict[str, int],
+                              structs: Dict[str, StructLayout],
                               local_consts: Set[str],
                               instr_name: str) -> None:
         """Account mutually exclusive branches at their elementwise max."""
@@ -400,8 +426,10 @@ class TrioCompiler:
         budget.reg_writes += peaks.reg_writes
         budget.mem_writes += peaks.mem_writes
 
-    def _account_expr(self, expr, budget: InstructionBudget,
-                      reg_map, ptr_map, consts,
+    def _account_expr(self, expr: object, budget: InstructionBudget,
+                      reg_map: Dict[str, int],
+                      ptr_map: Dict[str, Tuple[str, int]],
+                      consts: Dict[str, int],
                       local_consts: Set[str], instr_name: str) -> None:
         if isinstance(expr, ast.IntLit) or isinstance(expr, ast.SizeOf):
             return

@@ -23,7 +23,7 @@ AnalysisReportLike = object
 _INDENT = "    "
 
 
-def format_expr(expr) -> str:
+def format_expr(expr: object) -> str:
     """Render an expression AST back to source text."""
     if isinstance(expr, ast.IntLit):
         return hex(expr.value) if expr.value >= 4096 else str(expr.value)
@@ -42,7 +42,7 @@ def format_expr(expr) -> str:
     return f"<?{type(expr).__name__}?>"
 
 
-def format_stmt(stmt, depth: int = 1) -> List[str]:
+def format_stmt(stmt: object, depth: int = 1) -> List[str]:
     """Render one statement as indented source lines."""
     pad = _INDENT * depth
     if isinstance(stmt, ast.Assign):

@@ -14,11 +14,12 @@ with a struct layout so ``ptr->field`` reads/writes the right bit-field.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.microcode import ast_nodes as ast
 from repro.microcode.compiler import CompiledProgram, apply_binary
 from repro.microcode.errors import MicrocodeRuntimeError
+from repro.microcode.intrinsics import SHARED_INTRINSICS
 from repro.microcode.layout import StructLayout
 
 __all__ = ["MicrocodeExecutor", "PointerValue"]
@@ -39,7 +40,7 @@ class PointerValue:
     offset: int
     struct: Optional[StructLayout] = None
 
-    def __add__(self, other):
+    def __add__(self, other: object) -> Any:
         if isinstance(other, int):
             return PointerValue(self.offset + other, None)
         return NotImplemented
@@ -62,10 +63,19 @@ class MicrocodeExecutor:
         generator functions ``fn(tctx, pctx, *arg_values)``.
         ``CounterIncPhys`` is provided by default (§3.2): its first
         argument is a counter address in 8-byte words, its second the
-        packet length in bytes."""
+        packet length in bytes.  The ``Dmem*`` family issues 4-byte
+        Shared Memory XTXNs at ``dmem_base_addr + addr``: ``DmemLoad``
+        (plain read into a register), ``DmemStore`` (plain write),
+        ``DmemAdd32``/``DmemSwap`` (RMW-engine-serialised, §2.3)."""
         self.program = program
         self.terminals = dict(terminals or {})
-        self.intrinsics = {"CounterIncPhys": self._counter_inc_phys}
+        self.intrinsics = {
+            "CounterIncPhys": self._counter_inc_phys,
+            "DmemLoad": self._dmem_load,
+            "DmemStore": self._dmem_store,
+            "DmemAdd32": self._dmem_add32,
+            "DmemSwap": self._dmem_swap,
+        }
         if intrinsics:
             self.intrinsics.update(intrinsics)
         missing = program.extern_labels - set(self.terminals)
@@ -75,19 +85,22 @@ class MicrocodeExecutor:
             )
         #: Base byte address of the counter bank used by CounterIncPhys.
         self.counter_base_addr = 0
+        #: Base byte address of the shared-DMEM window the Dmem* family
+        #: addresses into (analogous to counter_base_addr).
+        self.dmem_base_addr = 0
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
-    def run(self, tctx, pctx):
+    def run(self, tctx: Any, pctx: Any) -> Iterator[Any]:
         """Process one packet: generator, ``yield from executor.run(...)``."""
         yield from self._run(tctx, pctx)
         # Deferred (coalesced) execute charges become one kernel event, so
         # running a program standalone still advances simulated time.
         yield from tctx.flush()
 
-    def _run(self, tctx, pctx):
+    def _run(self, tctx: Any, pctx: Any) -> Iterator[Any]:
         state = _ThreadState(self, tctx, pctx)
         label = self.program.entry
         executed = 0
@@ -114,18 +127,51 @@ class MicrocodeExecutor:
                 return
             label = signal[1]  # goto target
 
-    def _counter_inc_phys(self, tctx, pctx, addr_words: int, pkt_len: int):
+    def _counter_inc_phys(self, tctx: Any, pctx: Any, addr_words: int,
+                          pkt_len: int) -> Iterator[Any]:
         """The CounterIncPhys XTXN: increments a 16-byte Packet/Byte
         Counter whose address is given in 8-byte words (Figure 6 uses
         +2 per counter)."""
         byte_addr = self.counter_base_addr + int(addr_words) * 8
         yield from tctx.counter_inc(byte_addr, pkt_len)
 
+    def _dmem_load(self, tctx: Any, pctx: Any, reg_index: int,
+                   addr: int) -> Iterator[Any]:
+        """DmemLoad(r_dst, addr): plain 4-byte read XTXN into ``r_dst``.
+
+        The destination operand arrives pre-resolved to a register index
+        (see ``_ThreadState.exec_stmt``); the reply lands there.
+        """
+        raw = yield from tctx.mem_read(self.dmem_base_addr + int(addr), 4)
+        tctx.set_register(reg_index, int.from_bytes(raw, "little"))
+
+    def _dmem_store(self, tctx: Any, pctx: Any, addr: int,
+                    value: int) -> Iterator[Any]:
+        """DmemStore(addr, value): plain 4-byte write XTXN (NOT atomic)."""
+        data = (int(value) & 0xFFFFFFFF).to_bytes(4, "little")
+        yield from tctx.mem_write(self.dmem_base_addr + int(addr), data)
+
+    def _dmem_add32(self, tctx: Any, pctx: Any, addr: int,
+                    delta: int) -> Iterator[Any]:
+        """DmemAdd32(addr, delta): RMW-engine-serialised 32-bit add."""
+        yield from tctx.mem_add32(self.dmem_base_addr + int(addr),
+                                  int(delta) & 0xFFFFFFFF)
+
+    def _dmem_swap(self, tctx: Any, pctx: Any, addr: int,
+                   value: int) -> Iterator[Any]:
+        """DmemSwap(addr, value): atomic fetch-and-swap of one word."""
+        from repro.trio.rmw import RMWOpKind
+
+        yield from tctx.mem_fetch_and_op(
+            RMWOpKind.FETCH_AND_SWAP, self.dmem_base_addr + int(addr),
+            int(value) & 0xFFFFFFFF, size=4,
+        )
+
 
 class _ThreadState:
     """Per-packet interpreter state: local consts and builtin variables."""
 
-    def __init__(self, executor: MicrocodeExecutor, tctx, pctx):
+    def __init__(self, executor: MicrocodeExecutor, tctx: Any, pctx: Any):
         self.executor = executor
         self.program = executor.program
         self.tctx = tctx
@@ -135,14 +181,14 @@ class _ThreadState:
 
     # -- statement execution (generators returning a control signal) -----
 
-    def exec_body(self, body):
+    def exec_body(self, body: Any) -> Iterator[Any]:
         for stmt in body:
             signal = yield from self.exec_stmt(stmt)
             if signal is not _NEXT:
                 return signal
         return _NEXT
 
-    def exec_stmt(self, stmt):
+    def exec_stmt(self, stmt: Any) -> Iterator[Any]:
         if isinstance(stmt, ast.Assign):
             value = self.eval(stmt.expr)
             self.store(stmt.target, value)
@@ -176,7 +222,22 @@ class _ThreadState:
                 raise MicrocodeRuntimeError(
                     f"line {stmt.line}: unknown intrinsic {stmt.name!r}"
                 )
-            args = [self.eval(arg) for arg in stmt.args]
+            spec = SHARED_INTRINSICS.get(stmt.name)
+            out_reg = spec.out_reg if spec is not None else None
+            args = []
+            for index, arg in enumerate(stmt.args):
+                if index == out_reg:
+                    # Destination operand: resolve the register *index*
+                    # (TC already validated it names a declared reg).
+                    if not (isinstance(arg, ast.Name)
+                            and arg.ident in self.program.reg_map):
+                        raise MicrocodeRuntimeError(
+                            f"line {stmt.line}: {stmt.name} operand "
+                            f"{index} must name a register"
+                        )
+                    args.append(self.program.reg_map[arg.ident])
+                else:
+                    args.append(self.eval(arg))
             yield from fn(self.tctx, self.pctx, *args)
             return _NEXT
         if isinstance(stmt, ast.ReturnStmt):
@@ -203,7 +264,7 @@ class _ThreadState:
             f"unsupported statement {type(stmt).__name__}"
         )
 
-    def exec_subroutine(self, stmt: ast.CallSub):
+    def exec_subroutine(self, stmt: ast.CallSub) -> Iterator[Any]:
         """Run a ``call`` target until ``return`` (or fall-off-end).
 
         The PPE's call-return stack nests at most ``call_stack_depth``
@@ -241,7 +302,7 @@ class _ThreadState:
 
     # -- expression evaluation (pure; XTXNs only via intrinsics) ---------
 
-    def eval(self, expr):
+    def eval(self, expr: Any) -> Any:
         if isinstance(expr, ast.IntLit):
             return expr.value
         if isinstance(expr, ast.SizeOf):
@@ -276,7 +337,7 @@ class _ThreadState:
             f"unsupported expression {type(expr).__name__}"
         )
 
-    def resolve_name(self, ident: str, line: int):
+    def resolve_name(self, ident: str, line: int) -> Any:
         if ident in self.locals:
             return self.locals[ident]
         program = self.program
@@ -289,7 +350,7 @@ class _ThreadState:
             return PointerValue(offset, program.structs[struct_name])
         raise MicrocodeRuntimeError(f"line {line}: unknown name {ident!r}")
 
-    def read_member(self, expr: ast.Member):
+    def read_member(self, expr: ast.Member) -> Any:
         base = expr.base
         if isinstance(base, ast.Name) and base.ident == "r_work":
             return self.builtin_work_register(expr.field_name, expr.line)
@@ -301,7 +362,7 @@ class _ThreadState:
             )
         return value.struct.read(self.tctx.lmem, value.offset, expr.field_name)
 
-    def builtin_work_register(self, field_name: str, line: int):
+    def builtin_work_register(self, field_name: str, line: int) -> int:
         """The r_work builtin bus variables available to every thread."""
         if field_name == "pkt_len":
             return self.pctx.length if self.pctx is not None else 0
@@ -313,7 +374,7 @@ class _ThreadState:
             f"line {line}: unknown builtin r_work.{field_name}"
         )
 
-    def store(self, target, value) -> None:
+    def store(self, target: Any, value: Any) -> None:
         if isinstance(target, ast.Name):
             program = self.program
             if target.ident in program.reg_map:

@@ -1,0 +1,99 @@
+"""Shared-memory intrinsic specifications.
+
+The Microcode dialect reaches shared data-plane state (the Shared Memory
+System of §2.3) only through *intrinsic* statement calls — there are no
+load/store expressions.  This module is the single source of truth for
+what each intrinsic does to shared memory, consumed by three layers:
+
+* the compiler (:mod:`repro.microcode.compiler`) — arity/out-register
+  validation and operand-budget accounting (a ``DmemLoad`` destination is
+  a register *write*, not a read);
+* the static analyzer (:mod:`repro.microcode.analysis`) — the MC4xx
+  shared-state race pass classifies accesses by :attr:`IntrinsicSpec.access`
+  and address space, and the def-use pass treats out-registers as
+  definitions;
+* the interpreter (:mod:`repro.microcode.interp`) — issues the matching
+  XTXN and resolves the out-register operand by name.
+
+Access classes mirror the hardware contract (§2.3): ``read``/``write``
+are plain XTXNs served in FCFS order but *not* atomic with respect to
+each other across threads, while ``rmw`` operations are delegated to the
+RMW engine owning the address and therefore serialise — the only safe way
+to mutate state that hundreds of PPE threads share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["IntrinsicSpec", "SHARED_INTRINSICS"]
+
+
+@dataclass(frozen=True)
+class IntrinsicSpec:
+    """Static description of one shared-memory intrinsic.
+
+    ``access`` is ``"read"``, ``"write"``, or ``"rmw"``; ``addr_arg`` is
+    the index of the address operand and ``addr_scale`` the bytes per
+    address unit (``CounterIncPhys`` addresses are in 8-byte words,
+    Figure 6).  ``out_reg`` is the index of a register-name operand the
+    intrinsic *writes* (``None`` when every operand is read).
+    ``value_args`` are the operand indices carrying data into shared
+    memory — the taint sinks of the MC401 lost-update check.
+    """
+
+    name: str
+    arity: int
+    access: str                     # "read" | "write" | "rmw"
+    addr_arg: int
+    size_bytes: int
+    space: str                      # address space: "dmem" | "counter"
+    addr_scale: int = 1
+    out_reg: Optional[int] = None
+    value_args: Tuple[int, ...] = ()
+
+    @property
+    def atomic(self) -> bool:
+        """True when the op serialises at an RMW engine (§2.3)."""
+        return self.access == "rmw"
+
+
+#: Every shared-memory intrinsic the toolchain knows, keyed by call name.
+#: Executors may register additional custom intrinsics at runtime; those
+#: are invisible to the budget/race passes (they model opaque XTXNs).
+SHARED_INTRINSICS: Dict[str, IntrinsicSpec] = {
+    spec.name: spec
+    for spec in (
+        # DmemLoad(r_dst, addr): plain 4-byte read into a register.
+        IntrinsicSpec(
+            name="DmemLoad", arity=2, access="read", addr_arg=1,
+            size_bytes=4, space="dmem", out_reg=0,
+        ),
+        # DmemStore(addr, value): plain 4-byte write.  NOT atomic: a
+        # concurrent RMW or store to the same word can be lost.
+        IntrinsicSpec(
+            name="DmemStore", arity=2, access="write", addr_arg=0,
+            size_bytes=4, space="dmem", value_args=(1,),
+        ),
+        # DmemAdd32(addr, delta): 32-bit add delegated to the owning RMW
+        # engine — the §2.3 answer to shared counters.
+        IntrinsicSpec(
+            name="DmemAdd32", arity=2, access="rmw", addr_arg=0,
+            size_bytes=4, space="dmem", value_args=(1,),
+        ),
+        # DmemSwap(addr, value): atomic fetch-and-swap; the RMW-correct
+        # way to publish a whole word another thread may read.
+        IntrinsicSpec(
+            name="DmemSwap", arity=2, access="rmw", addr_arg=0,
+            size_bytes=4, space="dmem", value_args=(1,),
+        ),
+        # CounterIncPhys(addr_words, pkt_len): 16-byte Packet/Byte
+        # Counter increment, address in 8-byte words (§3.2, Figure 6).
+        IntrinsicSpec(
+            name="CounterIncPhys", arity=2, access="rmw", addr_arg=0,
+            size_bytes=16, space="counter", addr_scale=8,
+            value_args=(1,),
+        ),
+    )
+}

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from typing import Any  # expression nodes are untagged (ast_nodes uses object)
+
 from repro.microcode import ast_nodes as ast
 from repro.microcode.errors import ParseError
 from repro.microcode.lexer import Token, tokenize
@@ -160,7 +162,7 @@ class _Parser:
 
     # -- statements -------------------------------------------------------
 
-    def parse_stmt(self):
+    def parse_stmt(self) -> Any:
         if self.at("keyword", "const"):
             return self.parse_local_const()
         if self.at("keyword", "if"):
@@ -212,7 +214,7 @@ class _Parser:
             )
         return ast.Assign(target=target, expr=expr, line=equals.line)
 
-    def parse_local_const(self):
+    def parse_local_const(self) -> ast.LocalConst:
         keyword = self.expect("keyword", "const")
         type_name: Optional[str] = None
         is_pointer = False
@@ -300,7 +302,7 @@ class _Parser:
 
     # -- expressions -------------------------------------------------------
 
-    def parse_expr(self, level: int = 0):
+    def parse_expr(self, level: int = 0) -> Any:
         if level >= len(_PRECEDENCE):
             return self.parse_unary()
         left = self.parse_expr(level + 1)
@@ -313,7 +315,7 @@ class _Parser:
             )
         return left
 
-    def parse_unary(self):
+    def parse_unary(self) -> Any:
         if self.peek().kind == "op" and self.peek().text in ("-", "~", "!"):
             op_token = self.next()
             operand = self.parse_unary()
@@ -321,7 +323,7 @@ class _Parser:
                              line=op_token.line)
         return self.parse_postfix()
 
-    def parse_postfix(self):
+    def parse_postfix(self) -> Any:
         expr = self.parse_primary()
         while True:
             if self.at("op", "->"):
@@ -337,7 +339,7 @@ class _Parser:
             else:
                 return expr
 
-    def parse_primary(self):
+    def parse_primary(self) -> Any:
         token = self.peek()
         if token.kind == "int":
             self.next()

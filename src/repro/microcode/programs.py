@@ -14,7 +14,7 @@ register ``ir0`` and the pre-parsed ``ether_ptr``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 from repro.microcode.compiler import CompiledProgram, TrioCompiler
 from repro.microcode.interp import MicrocodeExecutor
@@ -265,11 +265,11 @@ def build_filter_executor(counter_base_addr: int = 0) -> MicrocodeExecutor:
     """
     program = compile_filter_program()
 
-    def forward_packet(tctx, pctx):
+    def forward_packet(tctx: Any, pctx: Any) -> Iterator[Any]:
         yield from tctx.execute(4)  # route lookup + rewrite, ballpark
         pctx.forward()
 
-    def drop_packet(tctx, pctx):
+    def drop_packet(tctx: Any, pctx: Any) -> Iterator[Any]:
         yield from tctx.execute(1)
         pctx.drop()
 

@@ -32,6 +32,11 @@ code        severity   meaning
                        insertion-ordered, hence deterministic in-run,
                        but fragile against refactors; prefer an
                        explicitly ordered collection
+``DET106``  error      ambient-environment read: ``os.environ`` access,
+                       ``os.getenv(...)``, ``os.urandom(...)``, or
+                       ``uuid.uuid4()`` — results depend on the host
+                       environment or OS entropy, not on simulation
+                       inputs
 ==========  =========  ====================================================
 
 Findings are suppressed by a pragma comment on the offending line (give a
@@ -75,6 +80,11 @@ _WALLCLOCK_TIME_FUNCS = frozenset({
 })
 _WALLCLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
+#: Ambient-environment reads (for DET106): values that depend on the
+#: host's environment variables or the OS entropy pool.
+_OS_AMBIENT_FUNCS = frozenset({"getenv", "urandom"})
+_UUID_AMBIENT_FUNCS = frozenset({"uuid1", "uuid4"})
+
 #: Attribute calls that schedule simulation events (for DET105).
 _SCHEDULING_ATTRS = frozenset({
     "process", "schedule", "call_later", "timeout", "delay", "succeed",
@@ -95,6 +105,11 @@ class _Imports:
     time_funcs: Dict[str, str] = dataclass_field(default_factory=dict)
     datetime_modules: Set[str] = dataclass_field(default_factory=set)
     datetime_classes: Set[str] = dataclass_field(default_factory=set)
+    os_modules: Set[str] = dataclass_field(default_factory=set)
+    os_funcs: Dict[str, str] = dataclass_field(default_factory=dict)
+    environ_names: Set[str] = dataclass_field(default_factory=set)
+    uuid_modules: Set[str] = dataclass_field(default_factory=set)
+    uuid_funcs: Dict[str, str] = dataclass_field(default_factory=dict)
 
 
 def _collect_imports(tree: ast.Module) -> _Imports:
@@ -109,6 +124,10 @@ def _collect_imports(tree: ast.Module) -> _Imports:
                     imports.time_modules.add(bound)
                 elif alias.name == "datetime":
                     imports.datetime_modules.add(bound)
+                elif alias.name == "os":
+                    imports.os_modules.add(bound)
+                elif alias.name == "uuid":
+                    imports.uuid_modules.add(bound)
         elif isinstance(node, ast.ImportFrom):
             if node.module == "random":
                 for alias in node.names:
@@ -127,6 +146,18 @@ def _collect_imports(tree: ast.Module) -> _Imports:
                     bound = alias.asname or alias.name
                     if alias.name in ("datetime", "date"):
                         imports.datetime_classes.add(bound)
+            elif node.module == "os":
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name in _OS_AMBIENT_FUNCS:
+                        imports.os_funcs[bound] = alias.name
+                    elif alias.name == "environ":
+                        imports.environ_names.add(bound)
+            elif node.module == "uuid":
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name in _UUID_AMBIENT_FUNCS:
+                        imports.uuid_funcs[bound] = alias.name
     return imports
 
 
@@ -210,6 +241,30 @@ class _Linter(ast.NodeVisitor):
                     f"{func.attr}() in simulation code",
                     node,
                 )
+            elif (isinstance(base, ast.Name)
+                    and base.id in self.imports.os_modules
+                    and func.attr in _OS_AMBIENT_FUNCS):
+                self._diag(
+                    "error", "DET106",
+                    f"ambient-environment read os.{func.attr}(): the "
+                    "result depends on the host, not on simulation "
+                    "inputs",
+                    node,
+                    notes=["thread configuration in explicitly, or "
+                           "derive bytes from env.rng_stream(key)"],
+                )
+            elif (isinstance(base, ast.Name)
+                    and base.id in self.imports.uuid_modules
+                    and func.attr in _UUID_AMBIENT_FUNCS):
+                self._diag(
+                    "error", "DET106",
+                    f"ambient-environment read uuid.{func.attr}(): "
+                    "draws from the OS entropy pool / host identity, "
+                    "so every run produces different ids",
+                    node,
+                    notes=["derive stable ids from simulation inputs "
+                           "(e.g. a counter or env.rng_stream(key))"],
+                )
         elif isinstance(func, ast.Name):
             if func.id in self.imports.random_funcs:
                 original = self.imports.random_funcs[func.id]
@@ -236,6 +291,52 @@ class _Linter(ast.NodeVisitor):
                     "simulation code",
                     node,
                 )
+            elif func.id in self.imports.os_funcs:
+                original = self.imports.os_funcs[func.id]
+                self._diag(
+                    "error", "DET106",
+                    f"ambient-environment read {func.id}() "
+                    f"(os.{original}): the result depends on the host, "
+                    "not on simulation inputs",
+                    node,
+                )
+            elif func.id in self.imports.uuid_funcs:
+                original = self.imports.uuid_funcs[func.id]
+                self._diag(
+                    "error", "DET106",
+                    f"ambient-environment read {func.id}() "
+                    f"(uuid.{original}): draws from the OS entropy "
+                    "pool, so every run produces different ids",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # -- ambient environment (DET106) -------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr == "environ" and isinstance(node.value, ast.Name)
+                and node.value.id in self.imports.os_modules):
+            self._diag(
+                "error", "DET106",
+                "ambient-environment read via os.environ: behaviour "
+                "becomes a function of the host's environment variables",
+                node,
+                notes=["thread configuration in explicitly (CLI flag or "
+                       "config object) instead of reading the "
+                       "environment"],
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (isinstance(node.ctx, ast.Load)
+                and node.id in self.imports.environ_names):
+            self._diag(
+                "error", "DET106",
+                f"ambient-environment read via {node.id} (os.environ): "
+                "behaviour becomes a function of the host's environment "
+                "variables",
+                node,
+            )
         self.generic_visit(node)
 
     # -- set / dict-view iteration ---------------------------------------
@@ -260,7 +361,7 @@ class _Linter(ast.NodeVisitor):
         self._check_iter(node.iter)
         self.generic_visit(node)
 
-    def _visit_comprehensions(self, node) -> None:
+    def _visit_comprehensions(self, node: ast.AST) -> None:
         for comp in node.generators:
             self._check_iter(comp.iter)
         self.generic_visit(node)

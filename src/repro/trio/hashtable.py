@@ -19,6 +19,7 @@ from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.obs import bus as _obs
 from repro.sim import Environment
+from repro.tools import racecheck as _rc
 
 __all__ = ["HardwareHashTable", "HashRecord"]
 
@@ -85,28 +86,40 @@ class HardwareHashTable:
     # Latency-charged operations (generators)
     # ------------------------------------------------------------------
 
-    def lookup(self, key: Hashable, pre_delay_s: float = 0.0):
+    def lookup(self, key: Hashable, pre_delay_s: float = 0.0, actor=None):
         """Hash lookup XTXN; returns the record (REF set) or None.
 
         ``pre_delay_s`` folds a caller-side deferred charge into the
         operation's single kernel event (see ThreadContext.execute).
+        ``actor`` attributes the op for the racecheck validator; every
+        hash op is per-key atomic in hardware, so these windows never
+        conflict — they only serve as commit points for the analysis.
         """
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.lookups += 1
         record = self._bucket_of(key).get(key)
         if record is not None:
             record.ref_flag = True
+        if rc is not None:
+            rc.record_hash(actor, "read", key, start, self.env.now)
         return record
 
-    def insert(self, key: Hashable, value: Any, pre_delay_s: float = 0.0):
+    def insert(self, key: Hashable, value: Any, pre_delay_s: float = 0.0,
+               actor=None):
         """Hash insert XTXN; returns the new record (REF set).
 
         Inserting an existing key replaces its value, matching
         insert-or-update hash hardware semantics.
         """
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.inserts += 1
         bucket = self._bucket_of(key)
+        if rc is not None:
+            rc.record_hash(actor, "write", key, start, self.env.now)
         existing = bucket.get(key)
         if existing is not None:
             existing.value = value
@@ -119,16 +132,20 @@ class HardwareHashTable:
         return record
 
     def insert_if_absent(self, key: Hashable, value: Any,
-                         pre_delay_s: float = 0.0):
+                         pre_delay_s: float = 0.0, actor=None):
         """Atomic insert-or-get XTXN; returns (record, created).
 
         The hash hardware serialises operations on one key, so two threads
         racing to create the same record see a single winner; the loser
         gets the winner's record back.
         """
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.inserts += 1
         bucket = self._bucket_of(key)
+        if rc is not None:
+            rc.record_hash(actor, "write", key, start, self.env.now)
         existing = bucket.get(key)
         if existing is not None:
             existing.ref_flag = True
@@ -139,11 +156,15 @@ class HardwareHashTable:
         self._obs_occupancy()
         return record, True
 
-    def delete(self, key: Hashable, pre_delay_s: float = 0.0):
+    def delete(self, key: Hashable, pre_delay_s: float = 0.0, actor=None):
         """Hash delete XTXN; returns True if the key existed."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.op_latency_s)
         self.deletes += 1
         bucket = self._bucket_of(key)
+        if rc is not None:
+            rc.record_hash(actor, "write", key, start, self.env.now)
         if key in bucket:
             del bucket[key]
             self._count -= 1

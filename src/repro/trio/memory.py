@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim import Environment
+from repro.tools import racecheck as _rc
 from repro.trio.chipset import TrioChipsetConfig
 from repro.trio.crossbar import Crossbar
 from repro.trio.rmw import RMWComplex, RMWOpKind
@@ -323,77 +324,126 @@ class SharedMemorySystem:
                 "(memory transactions are 8-64 bytes, §2.3)"
             )
 
-    def read(self, addr: int, size: int = 8, pre_delay_s: float = 0.0):
+    def read(self, addr: int, size: int = 8, pre_delay_s: float = 0.0,
+             actor=None):
         """Synchronous read XTXN; returns the bytes.
 
         ``pre_delay_s`` folds a caller-side deferred charge (coalesced
         ``execute`` time) into the access wait — one kernel event instead
-        of two, identical completion timestamp.
+        of two, identical completion timestamp.  ``actor`` attributes the
+        access to a PPE thread for the racecheck validator; recording
+        never adds simulation events, so timing is identical either way.
         """
         self._validate_xtxn_size(size)
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(RMWOpKind.READ, addr, size)
+        if rc is not None:
+            rc.record(actor, "read", addr, size, start, self.env.now)
         return result
 
-    def write(self, addr: int, data: bytes, pre_delay_s: float = 0.0):
+    def write(self, addr: int, data: bytes, pre_delay_s: float = 0.0,
+              actor=None):
         """Synchronous write XTXN."""
         self._validate_xtxn_size(len(data))
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(
             pre_delay_s + self.access_latency_s(addr, len(data))
         )
         yield from self.rmw.execute(RMWOpKind.WRITE, addr, len(data), data=data)
+        if rc is not None:
+            rc.record(actor, "write", addr, len(data), start, self.env.now)
 
-    def add32(self, addr: int, operand: int, pre_delay_s: float = 0.0):
+    def add32(self, addr: int, operand: int, pre_delay_s: float = 0.0,
+              actor=None):
         """32-bit add RMW; returns the old value."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, 4))
         result = yield from self.rmw.execute(RMWOpKind.ADD32, addr, 4,
                                              operand=operand)
+        if rc is not None:
+            rc.record(actor, "write", addr, 4, start, self.env.now,
+                      atomic=True)
         return result
 
     def fetch_and_op(self, kind: RMWOpKind, addr: int, operand: int,
-                     size: int = 8, pre_delay_s: float = 0.0):
+                     size: int = 8, pre_delay_s: float = 0.0, actor=None):
         """Logical fetch-and-op (AND/OR/XOR/CLEAR/SWAP); returns old value."""
         self._validate_xtxn_size(size)
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(kind, addr, size, operand=operand)
+        if rc is not None:
+            rc.record(actor, "write", addr, size, start, self.env.now,
+                      atomic=True)
         return result
 
     def masked_write(self, addr: int, operand: int, mask: int, size: int = 8,
-                     pre_delay_s: float = 0.0):
+                     pre_delay_s: float = 0.0, actor=None):
         """Masked write RMW; returns the old value."""
         self._validate_xtxn_size(size)
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         result = yield from self.rmw.execute(
             RMWOpKind.MASKED_WRITE, addr, size, operand=operand, mask=mask
         )
+        if rc is not None:
+            rc.record(actor, "write", addr, size, start, self.env.now,
+                      atomic=True)
         return result
 
-    def counter_inc(self, addr: int, nbytes: int, pre_delay_s: float = 0.0):
+    def counter_inc(self, addr: int, nbytes: int, pre_delay_s: float = 0.0,
+                    actor=None):
         """Packet/Byte Counter increment (the CounterIncPhys XTXN, §3.2)."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, 16))
         yield from self.rmw.execute(RMWOpKind.COUNTER_INC, addr, 16,
                                     operand=nbytes)
+        if rc is not None:
+            rc.record(actor, "write", addr, 16, start, self.env.now,
+                      atomic=True)
 
     # -- bulk paths used by aggregation ----------------------------------
 
     def bulk_add32(self, addr: int, values: Sequence[int],
-                   pre_delay_s: float = 0.0):
+                   pre_delay_s: float = 0.0, actor=None):
         """Aggregate a vector of int32 values into memory (fluid model)."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(
             pre_delay_s + self.access_latency_s(addr, 4 * len(values))
         )
         yield from self.rmw.bulk_add32(addr, values)
+        if rc is not None:
+            rc.record(actor, "write", addr, 4 * len(values), start,
+                      self.env.now, atomic=True)
 
-    def bulk_read(self, addr: int, size: int, pre_delay_s: float = 0.0):
+    def bulk_read(self, addr: int, size: int, pre_delay_s: float = 0.0,
+                  actor=None):
         """Stream ``size`` bytes out of memory; returns the bytes."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(pre_delay_s + self.access_latency_s(addr, size))
         yield from self.rmw.bulk_transfer(size)
+        if rc is not None:
+            rc.record(actor, "read", addr, size, start, self.env.now)
         return self.read_raw(addr, size)
 
-    def bulk_write(self, addr: int, data: bytes, pre_delay_s: float = 0.0):
+    def bulk_write(self, addr: int, data: bytes, pre_delay_s: float = 0.0,
+                   actor=None):
         """Stream ``data`` into memory."""
+        rc = _rc.session()
+        start = self.env.now + pre_delay_s if rc is not None else 0.0
         yield self.env.delay(
             pre_delay_s + self.access_latency_s(addr, len(data))
         )
         yield from self.rmw.bulk_transfer(len(data))
         self.write_raw(addr, data)
+        if rc is not None:
+            rc.record(actor, "write", addr, len(data), start, self.env.now)

@@ -263,32 +263,37 @@ class ThreadContext:
 
     def mem_read(self, addr: int, size: int = 8):
         result = yield from self.memory.read(
-            addr, size, pre_delay_s=self._take_pending()
+            addr, size, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
         return result
 
     def mem_write(self, addr: int, data: bytes):
         yield from self.memory.write(
-            addr, data, pre_delay_s=self._take_pending()
+            addr, data, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
 
     def mem_add32(self, addr: int, operand: int):
         result = yield from self.memory.add32(
-            addr, operand, pre_delay_s=self._take_pending()
+            addr, operand, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
         return result
 
     def mem_fetch_and_op(self, kind: RMWOpKind, addr: int, operand: int,
                          size: int = 8):
         result = yield from self.memory.fetch_and_op(
-            kind, addr, operand, size, pre_delay_s=self._take_pending()
+            kind, addr, operand, size, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
         return result
 
     def counter_inc(self, addr: int, nbytes: int):
         """The CounterIncPhys XTXN (§3.2)."""
         yield from self.memory.counter_inc(
-            addr, nbytes, pre_delay_s=self._take_pending()
+            addr, nbytes, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
 
     # ------------------------------------------------------------------
@@ -297,25 +302,27 @@ class ThreadContext:
 
     def hash_lookup(self, key):
         record = yield from self.hash_table.lookup(
-            key, pre_delay_s=self._take_pending()
+            key, pre_delay_s=self._take_pending(), actor=self.thread_id
         )
         return record
 
     def hash_insert(self, key, value):
         record = yield from self.hash_table.insert(
-            key, value, pre_delay_s=self._take_pending()
+            key, value, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
         return record
 
     def hash_insert_if_absent(self, key, value):
         record, created = yield from self.hash_table.insert_if_absent(
-            key, value, pre_delay_s=self._take_pending()
+            key, value, pre_delay_s=self._take_pending(),
+            actor=self.thread_id,
         )
         return record, created
 
     def hash_delete(self, key):
         existed = yield from self.hash_table.delete(
-            key, pre_delay_s=self._take_pending()
+            key, pre_delay_s=self._take_pending(), actor=self.thread_id
         )
         return existed
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.obs import bus as _obs
 from repro.sim import Environment, Resource
+from repro.tools import racecheck as _rc
 
 __all__ = ["RMWComplex", "RMWOpKind", "RMWStats"]
 
@@ -174,6 +175,12 @@ class RMWComplex:
             stats.ops += 1
             stats.bytes_serviced += size
             stats.busy_s += service_s
+            rc = _rc.session()
+            if rc is not None:
+                # Commit point: the engine applies the op while holding
+                # its FCFS grant — the serialization the MC4xx contract
+                # relies on.  Recorded as evidence, never as a conflict.
+                rc.note_engine_commit(engine_idx)
             return self._apply(kind, addr, size, data, operand, mask)
         finally:
             engine.release()

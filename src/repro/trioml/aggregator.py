@@ -338,7 +338,7 @@ class TrioMLAggregator(TrioApplication):
         memory.write_raw(hot_paddr, bytes(BlockRecord.HOT_SIZE))
         yield from memory.bulk_write(
             aggr_paddr, bytes(min(buf_bytes, 4096)),
-            pre_delay_s=tctx._take_pending(),
+            pre_delay_s=tctx._take_pending(), actor=tctx.thread_id,
         )
         if buf_bytes > 4096:
             memory.write_raw(aggr_paddr, bytes(buf_bytes))
@@ -383,7 +383,8 @@ class TrioMLAggregator(TrioApplication):
             yield from tctx.read_tail_chunks(num_chunks - 1)
         yield from tctx.execute(instructions)
         yield from self.pfe.memory.bulk_add32(
-            block.aggr_paddr, gradients, pre_delay_s=tctx._take_pending()
+            block.aggr_paddr, gradients, pre_delay_s=tctx._take_pending(),
+            actor=tctx.thread_id,
         )
         self.packets_aggregated += 1
         self.gradients_aggregated += n
@@ -408,7 +409,8 @@ class TrioMLAggregator(TrioApplication):
         # they are charged lumped (timing-equivalent; see read_tail_chunks).
         n_chunks = math.ceil(n_bytes / self.result_chunk_bytes)
         aggregated = yield from memory.bulk_read(
-            block.aggr_paddr, n_bytes, pre_delay_s=tctx._take_pending()
+            block.aggr_paddr, n_bytes, pre_delay_s=tctx._take_pending(),
+            actor=tctx.thread_id,
         )
         if n_chunks > 1:
             yield self.pfe.env.delay(

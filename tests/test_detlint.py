@@ -185,6 +185,89 @@ def test_dict_values_without_scheduling_is_fine():
 
 
 # ---------------------------------------------------------------------------
+# DET106 — ambient-environment reads (host env vars, OS entropy).
+# ---------------------------------------------------------------------------
+
+def test_os_environ_access_flagged():
+    diags = _lint("""
+        import os
+        mode = os.environ.get("MODE")
+    """)
+    assert _codes(diags) == ["DET106"]
+    assert diags[0].severity == "error"
+    assert "os.environ" in diags[0].message
+
+
+def test_os_environ_subscript_flagged():
+    diags = _lint("""
+        import os
+        key = os.environ["KEY"]
+    """)
+    assert _codes(diags) == ["DET106"]
+
+
+def test_os_getenv_flagged():
+    diags = _lint("""
+        import os
+        debug = os.getenv("DEBUG", "0")
+    """)
+    assert _codes(diags) == ["DET106"]
+
+
+def test_from_import_environ_and_getenv_flagged():
+    diags = _lint("""
+        from os import environ, getenv as ge
+        a = environ["A"]
+        b = ge("B")
+    """)
+    assert _codes(diags) == ["DET106", "DET106"]
+
+
+def test_os_urandom_flagged():
+    diags = _lint("""
+        import os
+        salt = os.urandom(16)
+    """)
+    assert _codes(diags) == ["DET106"]
+    assert "os.urandom" in diags[0].message
+
+
+def test_uuid4_flagged():
+    diags = _lint("""
+        import uuid
+        from uuid import uuid4
+        a = uuid.uuid4()
+        b = uuid4()
+    """)
+    assert _codes(diags) == ["DET106", "DET106"]
+
+
+def test_os_path_and_walk_are_fine():
+    # Only the ambient reads are flagged, not ordinary os usage.
+    assert _lint("""
+        import os
+        for root, dirs, files in os.walk("src"):
+            p = os.path.join(root, "x")
+    """) == []
+
+
+def test_uuid5_is_fine():
+    # uuid5 is a pure function of its inputs (namespace + name).
+    assert _lint("""
+        import uuid
+        ident = uuid.uuid5(uuid.NAMESPACE_DNS, "node-1")
+    """) == []
+
+
+def test_det106_pragma_escape():
+    diags = _lint("""
+        import os
+        home = os.environ.get("HOME")  # detlint: ok(artifact output dir)
+    """)
+    assert diags == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression.
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Dynamic race checker tests: happens-before analysis over synthetic
+windows, the module-level session lifecycle, the CI scenarios, and the
+zero-overhead contract (results bit-identical with the checker on or
+off)."""
+
+import pytest
+
+from repro.tools import racecheck as rc
+from repro.tools.racecheck import (
+    RACY_COUNTER_SOURCE,
+    SAFE_COUNTER_SOURCE,
+    RaceCheckSession,
+    _run_microcode_threads,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    rc.disable()
+    yield
+    rc.disable()
+
+
+# ---------------------------------------------------------------------------
+# Happens-before analysis over synthetic access windows.
+# ---------------------------------------------------------------------------
+
+def test_lost_update_detected():
+    s = RaceCheckSession()
+    # Victim thread 0: plain read then plain write-back of [64, 68).
+    s.record(0, "read", 64, 4, start=0.0, end=10.0)
+    s.record(0, "write", 64, 4, start=20.0, end=30.0)
+    # Thread 1's write commits inside the span: overwritten.
+    s.record(1, "write", 64, 4, start=12.0, end=15.0)
+    kinds = {f.kind for f in s.analyze()}
+    assert "lost_update" in kinds
+
+
+def test_lost_update_requires_other_actor_commit_inside_span():
+    s = RaceCheckSession()
+    s.record(0, "read", 64, 4, start=0.0, end=10.0)
+    s.record(0, "write", 64, 4, start=20.0, end=30.0)
+    # The other write commits after the victim's write-back: no loss.
+    s.record(1, "write", 64, 4, start=40.0, end=50.0)
+    assert [f for f in s.analyze() if f.kind == "lost_update"] == []
+
+
+def test_same_actor_atomic_closes_the_span():
+    s = RaceCheckSession()
+    s.record(0, "read", 64, 4, start=0.0, end=10.0)
+    # The victim synchronizes through the RMW engine before writing.
+    s.record(0, "write", 64, 4, start=12.0, end=14.0, atomic=True)
+    s.record(0, "write", 64, 4, start=20.0, end=30.0)
+    s.record(1, "write", 64, 4, start=15.0, end=16.0)
+    assert [f for f in s.analyze() if f.kind == "lost_update"] == []
+
+
+def test_concurrent_plain_conflict_detected():
+    s = RaceCheckSession()
+    s.record(0, "write", 64, 4, start=0.0, end=10.0)
+    s.record(1, "read", 66, 4, start=5.0, end=15.0)  # overlapping extent
+    findings = s.analyze()
+    assert any(f.kind == "concurrent_conflict" for f in findings)
+    conflict = next(f for f in findings if f.kind == "concurrent_conflict")
+    assert conflict.lo == 66 and conflict.hi == 68
+
+
+def test_rmw_involved_overlaps_never_flagged():
+    # The fig14 straggler pattern: a timer thread's bulk_read racing a
+    # straggler's bulk_add32 — both engine-serialized, both correct.
+    s = RaceCheckSession()
+    s.record(0, "write", 64, 64, start=0.0, end=10.0, atomic=True)
+    s.record(1, "read", 64, 64, start=5.0, end=15.0, atomic=True)
+    s.record(2, "write", 64, 4, start=6.0, end=9.0, atomic=True)
+    assert s.analyze() == []
+
+
+def test_read_read_overlap_is_not_a_conflict():
+    s = RaceCheckSession()
+    s.record(0, "read", 64, 4, start=0.0, end=10.0)
+    s.record(1, "read", 64, 4, start=5.0, end=15.0)
+    assert s.analyze() == []
+
+
+def test_disjoint_extents_are_not_a_conflict():
+    s = RaceCheckSession()
+    s.record(0, "write", 64, 4, start=0.0, end=10.0)
+    s.record(1, "write", 68, 4, start=5.0, end=15.0)
+    assert s.analyze() == []
+
+
+def test_disjoint_windows_are_not_a_conflict():
+    s = RaceCheckSession()
+    s.record(0, "write", 64, 4, start=0.0, end=10.0)
+    s.record(1, "write", 64, 4, start=10.0, end=20.0)
+    assert [f for f in s.analyze() if f.kind == "concurrent_conflict"] == []
+
+
+def test_findings_dedup_to_one_per_location():
+    s = RaceCheckSession()
+    for actor in range(8):
+        s.record(actor, "write", 64, 4, start=0.0, end=100.0)
+    findings = s.analyze()
+    assert len([f for f in findings
+                if f.kind == "concurrent_conflict"]) == 1
+
+
+def test_unattributed_accesses_get_unique_anonymous_actors():
+    s = RaceCheckSession()
+    # Two driver-level accesses with no thread id must never be fused
+    # into a same-actor read->write victim pair...
+    s.record(None, "read", 64, 4, start=0.0, end=10.0)
+    s.record(None, "write", 64, 4, start=20.0, end=30.0)
+    s.record(1, "write", 64, 4, start=12.0, end=15.0)
+    assert [f for f in s.analyze() if f.kind == "lost_update"] == []
+    # ...but they still participate as *different* actors.
+    actors = {a.actor for a in s.accesses}
+    assert len(actors) == 3
+
+
+def test_hash_keys_intern_to_synthetic_space():
+    s = RaceCheckSession()
+    s.record_hash(0, "write", ("job", 1), start=0.0, end=1.0)
+    s.record_hash(1, "read", ("job", 1), start=0.5, end=1.5)
+    s.record_hash(0, "write", ("job", 2), start=0.0, end=1.0)
+    assert s.summary()["hash_keys"] == 2
+    # Hash-block ops are serialized by the block: atomic, never flagged.
+    assert s.analyze() == []
+
+
+def test_engine_commit_accounting():
+    s = RaceCheckSession()
+    s.note_engine_commit(3)
+    s.note_engine_commit(3)
+    s.note_engine_commit(5)
+    assert s.engine_commits == {3: 2, 5: 1}
+    assert s.summary()["engine_commits"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Module-level session lifecycle (the obs-bus zero-overhead pattern).
+# ---------------------------------------------------------------------------
+
+def test_session_lifecycle():
+    assert rc.session() is None
+    assert not rc.enabled()
+    active = rc.enable()
+    assert rc.session() is active
+    assert rc.enabled()
+    finished = rc.disable()
+    assert finished is active
+    assert rc.session() is None
+    assert rc.disable() is None
+
+
+# ---------------------------------------------------------------------------
+# CI scenarios: static/dynamic agreement on real programs.
+# ---------------------------------------------------------------------------
+
+def test_injected_scenario_reproduces_mc401_lost_update():
+    active = rc.enable()
+    final, threads = _run_microcode_threads(RACY_COUNTER_SOURCE, 16)
+    rc.disable()
+    findings = active.analyze()
+    assert final < threads  # updates really were lost
+    kinds = {f.kind for f in findings}
+    assert "lost_update" in kinds
+    # Exactly one racy location: the shared counter word.
+    assert {(f.space, f.lo) for f in findings} == {("mem", 64)}
+
+
+def test_safe_counter_records_only_atomic_accesses():
+    active = rc.enable()
+    final, threads = _run_microcode_threads(SAFE_COUNTER_SOURCE, 16)
+    rc.disable()
+    assert final == threads
+    assert active.analyze() == []
+    summary = active.summary()
+    assert summary["plain"] == 0
+    assert summary["atomic"] == threads
+    # Every add was served (and thus serialized) by an RMW engine.
+    assert summary["engine_commits"] == threads
+
+
+def test_checker_off_changes_nothing():
+    # Zero-overhead contract, measured end to end: the simulated result
+    # is bit-identical whether or not the checker records.
+    off_final, _ = _run_microcode_threads(RACY_COUNTER_SOURCE, 16)
+    rc.enable()
+    on_final, _ = _run_microcode_threads(RACY_COUNTER_SOURCE, 16)
+    rc.disable()
+    assert rc.session() is None
+    assert on_final == off_final
+
+
+def test_main_exit_codes():
+    assert rc.main(["injected", "--expect-races", "1"]) == 0
+    assert rc.main(["injected", "--expect-races", "2"]) == 1
+    assert rc.main(["injected", "--expect-clean"]) == 1
+    assert rc.main(["builtins", "--expect-clean"]) == 0
+
+
+def test_main_output_is_deterministic(capsys):
+    assert rc.main(["injected"]) == 0
+    first = capsys.readouterr().out
+    assert rc.main(["injected"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert "lost_update" in first
