@@ -78,6 +78,26 @@ def test_trainer_loop_meets_throughput_floor():
     )
 
 
+#: The NF chain executor sustains ~400k packets/s through the canonical
+#: three-NF chain on the reference box; 100k is a generous floor that
+#: still catches an accidental per-packet chain re-compile, registry
+#: lookup, or state-spec re-validation landing in the dispatch loop.
+MIN_CHAIN_PACKETS_PER_S = 100_000
+
+
+def test_nf_chain_meets_throughput_floor():
+    rate = _sustained(
+        lambda events, repeats: perfjson.bench_nf_chain(
+            packets=events // 10, repeats=repeats
+        ),
+        MIN_CHAIN_PACKETS_PER_S,
+    )
+    assert rate >= MIN_CHAIN_PACKETS_PER_S, (
+        f"NF chain executor sustained {rate:,.0f} packets/s, below the "
+        f"{MIN_CHAIN_PACKETS_PER_S:,} floor"
+    )
+
+
 def test_macro_packet_path_reports_throughput():
     stats = perfjson.bench_packet_path(blocks=40, repeats=2)
     assert stats["packets"] > 0

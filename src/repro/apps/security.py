@@ -1,234 +1,19 @@
 """In-network security: DDoS mitigation on the datapath (§7).
 
-§7: "To mitigate DDoS attacks, the MX systems based on Trio support a
-feature to identify and drop malicious packets, capitalizing on the
-chipset's high performance and flexible packet filter mechanism", and
-"Trio's programmable architecture for anomaly detection on the network
-datapath enables low-latency threat mitigation".
-
-:class:`DDoSMitigator` implements a volumetric-attack defence:
-
-* the data path tracks per-source packet rates with policers in the
-  Shared Memory System (state stays next to the RMW engines, so hundreds
-  of threads can police concurrently);
-* sources that exceed their policer persistently accumulate *strikes*;
-  timer threads periodically review strike counts, move offenders onto a
-  blocklist, and rehabilitate sources whose REF flag shows they have
-  gone quiet — the temporary-vs-permanent analysis §5 sketches for
-  advanced straggler mitigation, applied to attackers;
-* blocklisted sources are dropped at the first instruction of the data
-  path, before any expensive processing.
+The implementation lives in :mod:`repro.nf.firewall` — the NF layer
+owns both the Trio application and its backend-independent sibling
+(:class:`repro.nf.firewall.FirewallNF`), so the strike/blocklist policy
+is written once.  This module remains the stable import path for the
+Trio application.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from repro.nf.firewall import (
+    BlockEvent,
+    DDoSMitigator,
+    SourceState,
+    StrikePolicy,
+)
 
-from repro.net.headers import HeaderError
-from repro.obs import bus as _obs
-from repro.trio.counters import PacketByteCounter, Policer
-from repro.trio.pfe import PFE, TrioApplication
-from repro.trio.ppe import PacketContext, ThreadContext
-
-__all__ = ["BlockEvent", "DDoSMitigator", "SourceState"]
-
-
-@dataclass
-class SourceState:
-    """Per-source defence state (hash-table value keyed by source IP)."""
-
-    policer: Policer
-    strikes: int = 0
-    blocked: bool = False
-    first_seen: float = 0.0
-    #: Consecutive review intervals with no traffic from this source.
-    quiet_intervals: int = 0
-
-
-@dataclass
-class BlockEvent:
-    """One blocklist decision, for the operator's audit trail."""
-
-    time: float
-    source_ip: int
-    strikes: int
-    action: str  # "block" or "unblock"
-
-
-class DDoSMitigator(TrioApplication):
-    """Per-source rate policing with timer-thread blocklist management."""
-
-    name = "ddos-mitigator"
-
-    def __init__(
-        self,
-        allowed_pps: float = 100_000.0,
-        packet_size_hint: int = 512,
-        burst_packets: int = 64,
-        strike_threshold: int = 3,
-        review_threads: int = 4,
-        review_period_s: float = 1e-3,
-        max_sources: int = 100_000,
-        rehab_quiet_intervals: int = 3,
-    ):
-        """``allowed_pps`` is the per-source sustained packet budget;
-        sources that keep exceeding it collect strikes at each review and
-        are blocked after ``strike_threshold`` strikes.  A blocked source
-        is rehabilitated after ``rehab_quiet_intervals`` consecutive
-        review intervals with no traffic at all (its REF flag stayed
-        clear) — the temporary-vs-permanent distinction of §5."""
-        if strike_threshold < 1:
-            raise ValueError(f"strike threshold must be >= 1: {strike_threshold}")
-        if rehab_quiet_intervals < 1:
-            raise ValueError(
-                f"rehab interval count must be >= 1: {rehab_quiet_intervals}"
-            )
-        self.allowed_pps = allowed_pps
-        self.packet_size_hint = packet_size_hint
-        self.burst_packets = burst_packets
-        self.strike_threshold = strike_threshold
-        self.review_threads = review_threads
-        self.review_period_s = review_period_s
-        self.max_sources = max_sources
-        self.rehab_quiet_intervals = rehab_quiet_intervals
-        self.events: List[BlockEvent] = []
-        self.packets_blocked = 0
-        self.packets_policed = 0
-        self.pfe: Optional[PFE] = None
-        #: Sources that exceeded their policer since the last review.
-        self._offenders: Set[int] = set()
-
-    def on_install(self, pfe: PFE) -> None:
-        self.pfe = pfe
-        self.blocked_counter = PacketByteCounter(pfe.memory)
-        if _obs.enabled():
-            _obs.register_collector(self._obs_collect)
-        pfe.timers.launch_periodic(
-            name="ddos-review",
-            num_threads=self.review_threads,
-            period_s=self.review_period_s,
-            callback=self._review,
-        )
-
-    def _obs_collect(self, registry) -> None:
-        """Export the mitigator's counters (runs once at finalize)."""
-        packets = registry.counter(
-            "apps.security.packets", "packets seen by the defence",
-            ("outcome",))
-        packets.inc(self.packets_blocked, outcome="blocked")
-        packets.inc(self.packets_policed, outcome="policed")
-        registry.gauge(
-            "apps.security.blocked_sources",
-            "sources on the blocklist at finalize"
-        ).set(len(self.blocked_sources))
-
-    # ------------------------------------------------------------------
-    # Data path
-    # ------------------------------------------------------------------
-
-    def handle_packet(self, tctx: ThreadContext, pctx: PacketContext):
-        yield from tctx.execute(6)  # parse up to L3
-        try:
-            __, ip, __, __ = pctx.packet.parse_udp()
-        except HeaderError:
-            pctx.forward()
-            return
-        source = int(ip.src)
-        record = yield from tctx.hash_lookup(("src", source))
-        if record is None:
-            if len(self.pfe.hash_table) >= self.max_sources:
-                pctx.forward()
-                return
-            state = SourceState(
-                policer=Policer(
-                    self.pfe.env,
-                    self.pfe.memory,
-                    rate_bps=self.allowed_pps * self.packet_size_hint * 8,
-                    burst_bytes=self.burst_packets * self.packet_size_hint,
-                ),
-                first_seen=self.pfe.env.now,
-            )
-            record, __ = yield from tctx.hash_insert_if_absent(
-                ("src", source), state
-            )
-        state = record.value
-
-        if state.blocked:
-            # First-instruction drop: no further cycles for attack traffic.
-            self.packets_blocked += 1
-            yield from self.blocked_counter.increment(pctx.length)
-            pctx.drop()
-            return
-
-        conforming = yield from state.policer.police(pctx.length)
-        self.packets_policed += 1
-        if not conforming:
-            self._offenders.add(source)
-            pctx.drop()
-            return
-        pctx.forward()
-
-    # ------------------------------------------------------------------
-    # Timer threads: strike review and rehabilitation
-    # ------------------------------------------------------------------
-
-    def _review(self, tctx: ThreadContext, thread_index: int):
-        table = self.pfe.hash_table
-        records = yield from table.scan_segment(
-            thread_index % self.review_threads, self.review_threads
-        )
-        now = self.pfe.env.now
-        for record in records:
-            yield from tctx.execute(3)
-            state = record.value
-            if not isinstance(state, SourceState):
-                continue
-            source = record.key[1]
-            if source in self._offenders:
-                self._offenders.discard(source)
-                state.strikes += 1
-                if not state.blocked and state.strikes >= self.strike_threshold:
-                    state.blocked = True
-                    self.events.append(
-                        BlockEvent(time=now, source_ip=source,
-                                   strikes=state.strikes, action="block")
-                    )
-                    self._obs_block_event(now, source, "block")
-                continue
-            # No offence this interval.  A blocked source whose REF flag
-            # stays clear for several consecutive intervals has gone
-            # quiet: rehabilitate it (temporary attacker, §5's
-            # temporary-vs-permanent analysis).
-            if record.ref_flag:
-                record.ref_flag = False
-                state.quiet_intervals = 0
-                continue
-            state.quiet_intervals += 1
-            if (state.blocked
-                    and state.quiet_intervals >= self.rehab_quiet_intervals):
-                state.blocked = False
-                state.strikes = 0
-                state.quiet_intervals = 0
-                self.events.append(
-                    BlockEvent(time=now, source_ip=source,
-                               strikes=0, action="unblock")
-                )
-                self._obs_block_event(now, source, "unblock")
-
-    @staticmethod
-    def _obs_block_event(now: float, source: int, action: str) -> None:
-        obs = _obs.session()
-        if obs is not None:
-            obs.probe("apps.security.block_events", action=action)
-            obs.instant(f"{action} {source:#010x}", now,
-                        track="apps/security")
-
-    @property
-    def blocked_sources(self) -> List[int]:
-        """Currently blocked source IPs (control-plane view)."""
-        return sorted(
-            record.key[1]
-            for record in self.pfe.hash_table.all_records()
-            if isinstance(record.value, SourceState) and record.value.blocked
-        )
+__all__ = ["BlockEvent", "DDoSMitigator", "SourceState", "StrikePolicy"]

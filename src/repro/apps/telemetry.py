@@ -1,184 +1,26 @@
 """In-network telemetry (§7).
 
-Current devices sample one packet in tens of thousands, blindly, on a
-time interval; §7 argues Trio can do better: keep per-flow state in the
-large Shared Memory System, update it at line rate with the RMW engines,
-and use timer threads for periodic monitoring and anomaly analysis.
-
-:class:`TelemetryMonitor` implements that design:
-
-* the data path looks each flow up in the hash block (setting its REF
-  flag) and bumps its 16-byte Packet/Byte Counter — one RMW, no sampling;
-* N timer threads sweep 1/N of the table each period, export flows whose
-  rate crossed the heavy-hitter threshold, and retire flows whose REF
-  flag was never re-set (idle for a full interval), returning their
-  counter memory.
+The implementation lives in :mod:`repro.nf.telemetry` — the NF layer
+owns both the Trio application and its backend-independent sibling
+(:class:`repro.nf.telemetry.TelemetryNF`), so the export/retire sweep
+rule is written once.  This module remains the stable import path for
+the Trio application.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from repro.net.headers import FlowKey
+from repro.nf.telemetry import (
+    FlowStats,
+    TelemetryMonitor,
+    TelemetryReport,
+    sweep_decision,
+)
 
-from repro.net.headers import HeaderError
-from repro.obs import bus as _obs
-from repro.trio.counters import PacketByteCounter
-from repro.trio.pfe import PFE, TrioApplication
-from repro.trio.ppe import PacketContext, ThreadContext
-
-__all__ = ["FlowStats", "TelemetryMonitor", "TelemetryReport"]
-
-FlowKey = Tuple[int, int, int, int]
-
-
-@dataclass
-class FlowStats:
-    """Per-flow telemetry state: the shared-memory counter plus metadata."""
-
-    counter: PacketByteCounter
-    first_seen: float
-    #: (packets, bytes) at the previous sweep, for rate computation.
-    last_packets: int = 0
-    last_bytes: int = 0
-
-
-@dataclass
-class TelemetryReport:
-    """One exported heavy-hitter observation."""
-
-    time: float
-    flow: FlowKey
-    packets: int
-    bytes: int
-    packets_per_s: float
-
-
-class TelemetryMonitor(TrioApplication):
-    """Line-rate per-flow accounting with timer-thread exports."""
-
-    name = "telemetry"
-
-    def __init__(
-        self,
-        heavy_hitter_pps: float = 1e6,
-        scan_threads: int = 8,
-        scan_period_s: float = 1e-3,
-        export: Optional[Callable[[TelemetryReport], None]] = None,
-        max_flows: int = 100_000,
-    ):
-        """``heavy_hitter_pps`` is the per-flow packet-rate threshold for
-        export; ``export`` receives each report (defaults to collecting
-        into :attr:`reports`)."""
-        if scan_threads < 1:
-            raise ValueError(f"need at least one scan thread: {scan_threads}")
-        if scan_period_s <= 0:
-            raise ValueError(f"scan period must be positive: {scan_period_s}")
-        self.heavy_hitter_pps = heavy_hitter_pps
-        self.scan_threads = scan_threads
-        self.scan_period_s = scan_period_s
-        self.max_flows = max_flows
-        self.reports: List[TelemetryReport] = []
-        self._export = export or self.reports.append
-        self.flows_tracked = 0
-        self.flows_retired = 0
-        self.flows_dropped_capacity = 0
-        self.pfe: Optional[PFE] = None
-
-    def on_install(self, pfe: PFE) -> None:
-        self.pfe = pfe
-        if _obs.enabled():
-            _obs.register_collector(self._obs_collect)
-        pfe.timers.launch_periodic(
-            name="telemetry-sweep",
-            num_threads=self.scan_threads,
-            period_s=self.scan_period_s,
-            callback=self._sweep,
-        )
-
-    def _obs_collect(self, registry) -> None:
-        """Export the monitor's counters (runs once at finalize)."""
-        flows = registry.counter(
-            "apps.telemetry.flows", "flow-table transitions", ("event",))
-        flows.inc(self.flows_tracked, event="tracked")
-        flows.inc(self.flows_retired, event="retired")
-        flows.inc(self.flows_dropped_capacity, event="dropped_capacity")
-        registry.gauge(
-            "apps.telemetry.reports", "heavy-hitter reports exported"
-        ).set(len(self.reports))
-
-    # ------------------------------------------------------------------
-    # Data path
-    # ------------------------------------------------------------------
-
-    def handle_packet(self, tctx: ThreadContext, pctx: PacketContext):
-        yield from tctx.execute(8)  # parse headers
-        try:
-            __, ip, udp, __ = pctx.packet.parse_udp()
-        except HeaderError:
-            pctx.forward()
-            return
-        flow: FlowKey = (int(ip.src), int(ip.dst), udp.src_port,
-                         udp.dst_port)
-        record = yield from tctx.hash_lookup(flow)
-        if record is None:
-            if len(self.pfe.hash_table) >= self.max_flows:
-                # Table full: forward uncounted rather than stall traffic.
-                self.flows_dropped_capacity += 1
-                pctx.forward()
-                return
-            stats = FlowStats(
-                counter=PacketByteCounter(self.pfe.memory),
-                first_seen=self.pfe.env.now,
-            )
-            record, created = yield from tctx.hash_insert_if_absent(
-                flow, stats
-            )
-            if created:
-                self.flows_tracked += 1
-        yield from record.value.counter.increment(pctx.length)
-        pctx.forward()
-
-    # ------------------------------------------------------------------
-    # Timer threads (§7: "suitable for periodic monitoring")
-    # ------------------------------------------------------------------
-
-    def _sweep(self, tctx: ThreadContext, thread_index: int):
-        table = self.pfe.hash_table
-        records = yield from table.scan_segment(
-            thread_index % self.scan_threads, self.scan_threads
-        )
-        now = self.pfe.env.now
-        for record in records:
-            yield from tctx.execute(3)
-            stats = record.value
-            if not isinstance(stats, FlowStats):
-                continue
-            packets, nbytes = stats.counter.read()
-            delta_packets = packets - stats.last_packets
-            rate = delta_packets / self.scan_period_s
-            if rate >= self.heavy_hitter_pps:
-                self._export(
-                    TelemetryReport(
-                        time=now,
-                        flow=record.key,
-                        packets=packets,
-                        bytes=nbytes,
-                        packets_per_s=rate,
-                    )
-                )
-                obs = _obs.session()
-                if obs is not None:
-                    obs.probe("apps.telemetry.reports_exported")
-                    obs.instant("heavy-hitter", now, track="apps/telemetry",
-                                packets_per_s=rate)
-            stats.last_packets = packets
-            stats.last_bytes = nbytes
-            if record.ref_flag:
-                record.ref_flag = False
-            else:
-                # Idle for a full interval: retire the flow state and
-                # return its counter memory.
-                table.delete_nowait(record.key)
-                self.pfe.memory.free(stats.counter.addr,
-                                     PacketByteCounter.SIZE)
-                self.flows_retired += 1
+__all__ = [
+    "FlowKey",
+    "FlowStats",
+    "TelemetryMonitor",
+    "TelemetryReport",
+    "sweep_decision",
+]

@@ -86,6 +86,12 @@ def _run_hybrid(fast: bool, parallel=None) -> str:
     ))
 
 
+def _run_chains(fast: bool, parallel=None) -> str:
+    return figures.render_chain_sweep(exp.chains_sweep(
+        packets=1024 if fast else 4096, parallel=parallel
+    ))
+
+
 def _run_calibrate() -> str:
     from repro.collectives.calibrate import calibrate, render_calibration
 
@@ -149,6 +155,7 @@ def build_registry(fast: bool, chart: bool = False, parallel=None
         "fig16": partial(_run_fig16, fast, chart, parallel=parallel),
         "backends": partial(_run_backends, parallel=parallel),
         "hybrid": partial(_run_hybrid, fast, parallel=parallel),
+        "chains": partial(_run_chains, fast, parallel=parallel),
         "calibrate": _run_calibrate,
         "analysis": _run_analysis,
         "ablations": partial(_run_ablations, fast),

@@ -33,6 +33,8 @@ from repro.harness.testbed import (
 
 __all__ = [
     "BackendSweepRow",
+    "ChainRow",
+    "DEFAULT_CHAIN",
     "Fig12Result",
     "Fig13Row",
     "Fig14Row",
@@ -45,6 +47,7 @@ __all__ = [
     "ablation_scan_threads",
     "ablation_tail_chunk",
     "backend_sweep",
+    "chains_sweep",
     "fig12_time_to_accuracy",
     "fig13_iteration_time",
     "fig14_mitigation",
@@ -933,6 +936,93 @@ def profile_flowsim_slice(num_flows: int = 300) -> Dict[str, float]:
     for reason, count in sorted(result.escalations.items()):
         stats[f"escalations.{reason}"] = float(count)
     return stats
+
+
+# ---------------------------------------------------------------------------
+# NF chain placement sweep (ROADMAP item 4, repro.nf)
+# ---------------------------------------------------------------------------
+
+#: The canonical chain of the three shipped NFs.
+DEFAULT_CHAIN = "firewall -> telemetry -> aggregate"
+
+
+@dataclass
+class ChainRow:
+    """One legal placement of the chain, priced and executed packet-level."""
+
+    placement: Tuple[str, ...]
+    per_packet_ns: float
+    crossings: int
+    forwarded: int
+    dropped: int
+    consumed: int
+    #: Canonical digest of the semantic results (placement excluded);
+    #: every row of a sweep must carry the same one.
+    fingerprint: str
+    #: True on the greedy cost-driven choice.
+    chosen: bool = False
+
+
+def _chain_point(args: Tuple[str, Tuple[str, ...], int, int]) -> ChainRow:
+    """One placement of the chain sweep.
+
+    Self-contained: compiles the chain and synthesises the trace from the
+    point arguments alone, so placements fan across worker processes and
+    the per-placement fingerprints are what serial-vs-parallel identity
+    is asserted over.
+    """
+    from repro.nf import compile_chain, generate_trace, run_chain
+
+    spec, placement, packets, seed = args
+    compiled = compile_chain(spec)
+    cost = compiled.placement_costs(placement)
+    trace = generate_trace(packets, seed=seed)
+    result = run_chain(compiled.spec, compiled.nfs, placement, trace,
+                       per_packet_s=cost.per_packet_s)
+    tallies = result.flow_verdicts.values()
+    return ChainRow(
+        placement=tuple(placement),
+        per_packet_ns=cost.per_packet_s * 1e9,
+        crossings=cost.crossings,
+        forwarded=sum(t[0] for t in tallies),
+        dropped=sum(t[1] for t in tallies),
+        consumed=sum(t[2] for t in tallies),
+        fingerprint=result.fingerprint(),
+    )
+
+
+def chains_sweep(
+    spec: str = DEFAULT_CHAIN,
+    packets: int = 4096,
+    seed: Optional[int] = None,
+    parallel: Optional[int] = None,
+) -> List[ChainRow]:
+    """Every legal placement of ``spec``, cheapest first, executed
+    packet-level over the same deterministic trace.
+
+    The rows double as the placement-invariance check the figure prints:
+    NF semantics live in logical packet-count time, so every placement —
+    and a ``--parallel`` fan-out of them — must report one distinct
+    result fingerprint.  ``seed`` defaults to the process-wide base seed
+    (the harness ``--seed`` flag), falling back to 0.
+    """
+    from repro.nf import compile_chain, enumerate_placements, greedy_place
+    from repro.sim import default_seed
+
+    if seed is None:
+        base = default_seed()
+        seed = base if isinstance(base, int) else 0
+    compiled = compile_chain(spec)
+    chosen = greedy_place(compiled)
+    options = enumerate_placements(compiled)
+    points = [
+        (compiled.spec, option.placement, packets, seed)
+        for option in options
+    ]
+    rows = _map_points(_chain_point, points, parallel)
+    for row in rows:
+        row.chosen = row.placement == chosen
+    return rows
 
 
 # ---------------------------------------------------------------------------

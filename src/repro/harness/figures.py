@@ -8,6 +8,7 @@ from repro.harness import experiments as exp
 
 __all__ = [
     "render_backend_sweep",
+    "render_chain_sweep",
     "render_table1",
     "render_fig12",
     "render_fig13",
@@ -200,6 +201,39 @@ def render_hybrid_sweep(rows: Sequence["exp.HybridRow"]) -> str:
             f"{row.escalated_total:>11}"
             + (f"  ({detail})" if detail else "")
         )
+    return "\n".join(lines)
+
+
+def render_chain_sweep(rows: Sequence["exp.ChainRow"],
+                       spec: str = "firewall -> telemetry -> aggregate"
+                       ) -> str:
+    """Every legal placement of the chain, cheapest first.
+
+    The trailing line states the placement-invariance result: the sweep
+    must report exactly one distinct fingerprint however the chain is
+    split across Trio / PISA / host.
+    """
+    lines = [
+        f"NF chain placement sweep: {spec}",
+        _rule(90),
+        f"{'Placement':<26}{'ns/pkt':>10}{'Mpps':>8}{'Cross':>7}"
+        f"{'Fwd':>8}{'Drop':>8}{'Consume':>9}{'Fingerprint':>14}",
+    ]
+    for row in rows:
+        marker = "*" if row.chosen else " "
+        mpps = 1e3 / row.per_packet_ns if row.per_packet_ns > 0 else 0.0
+        lines.append(
+            f"{marker}{','.join(row.placement):<25}"
+            f"{row.per_packet_ns:>10.1f}{mpps:>8.2f}{row.crossings:>7}"
+            f"{row.forwarded:>8}{row.dropped:>8}{row.consumed:>9}"
+            f"{row.fingerprint[:12]:>14}"
+        )
+    distinct = len({row.fingerprint for row in rows})
+    lines.append(_rule(90))
+    lines.append(
+        f"{len(rows)} legal placement(s), {distinct} distinct result "
+        "fingerprint(s); * = greedy cost-driven choice"
+    )
     return "\n".join(lines)
 
 

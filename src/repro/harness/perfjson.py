@@ -41,6 +41,7 @@ __all__ = [
     "bench_packet_path",
     "bench_figure_sweep",
     "bench_flowsim",
+    "bench_nf_chain",
     "bench_obs_overhead",
     "bench_trainer_loop",
     "OBS_PROBE_NS_CEILING",
@@ -271,6 +272,32 @@ def bench_flowsim(num_flows: int = 10_000,
     }
 
 
+def bench_nf_chain(packets: int = 20_000, repeats: int = 3) -> float:
+    """Packets/s through the NF chain executor on the greedy placement.
+
+    Compiles the canonical ``firewall -> telemetry -> aggregate`` chain,
+    takes the cost-driven greedy placement, and times :func:`run_chain`
+    alone (trace synthesis excluded) — the per-packet NF dispatch loop
+    the ``chains`` sweep multiplies by 27 placements.  Guards the NF
+    refactor: the three applications now run behind the
+    :class:`repro.nf.base.NF` interface, and this is the budget that
+    indirection must live within.
+    """
+    from repro.harness.experiments import DEFAULT_CHAIN
+    from repro.nf import compile_chain, generate_trace, greedy_place, run_chain
+
+    def once() -> float:
+        compiled = compile_chain(DEFAULT_CHAIN)
+        placement = greedy_place(compiled)
+        trace = generate_trace(packets, seed=0)
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        run_chain(compiled.spec, compiled.nfs, placement, trace)
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return packets / elapsed
+
+    return _best_of(once, repeats)
+
+
 def bench_trainer_loop(iterations: int = 100_000,
                        repeats: int = 5) -> float:
     """Iterations/s of the data-parallel training hot loop.
@@ -354,6 +381,8 @@ def collect(quick: bool = False) -> Dict:
                                repeats=2 if quick else 3)
     flowsim = bench_flowsim(num_flows=1_000 if quick else 10_000,
                             repeats=2)
+    nf_chain = bench_nf_chain(packets=5_000 if quick else 20_000,
+                              repeats=2 if quick else 3)
     obs_overhead = bench_obs_overhead(calls=250_000 if quick else 1_000_000,
                                       repeats=3 if quick else 5)
     doc = {
@@ -389,6 +418,9 @@ def collect(quick: bool = False) -> Dict:
         },
         "trainer": {
             "iterations_per_s": round(trainer),
+        },
+        "nf": {
+            "chain_packets_per_s": round(nf_chain),
         },
         "obs": {
             "null_probe_ns": round(obs_overhead["null_probe_ns"], 1),
@@ -440,6 +472,8 @@ def check(path: Path, quick: bool = True) -> int:
         checks.append(("macro", "sim_seconds_per_cpu_s"))
     if "flowsim" in committed:
         checks.append(("flowsim", "simulated_bytes_per_cpu_s"))
+    if "nf" in committed:
+        checks.append(("nf", "chain_packets_per_s"))
     failures = []
     for section, key in checks:
         old = committed[section][key]

@@ -23,6 +23,8 @@ __all__ = [
     "BUILTIN_PROGRAMS",
     "BuiltinProgram",
     "FILTER_PROGRAM_SOURCE",
+    "NF_FIREWALL_PARSE_SOURCE",
+    "NF_TELEMETRY_PARSE_SOURCE",
     "TRIO_ML_PARSE_SOURCE",
     "build_filter_executor",
     "compile_filter_program",
@@ -201,6 +203,144 @@ end
 """
 
 
+NF_FIREWALL_PARSE_SOURCE = """
+// Parse front-end of the firewall NF (repro.nf.firewall): classify the
+// frame and extract the per-source key the policing body hashes on.
+// The policing/blocklist body itself is the `police_source` extern.
+
+struct ether_t {
+    dmac  : 48;
+    smac  : 48;
+    etype : 16;
+};
+
+struct ipv4_t {
+    ver      : 4;
+    ihl      : 4;
+    dscp     : 8;
+    length   : 16;
+    ident    : 16;
+    flags    : 3;
+    frag     : 13;
+    ttl      : 8;
+    proto    : 8;
+    checksum : 16;
+    src      : 32;
+    dst      : 32;
+};
+
+const ETYPE_IP = 0x0800;
+const PROTO_UDP = 17;
+
+// The per-source state key (repro.net.headers.source_key).
+reg r_src_ip;
+
+ptr ether_ptr = ether_t @ 0;
+ptr ipv4_ptr = ipv4_t @ 14;
+
+classify_ether:
+begin
+    if (ether_ptr->etype == ETYPE_IP) {
+        goto classify_ip;
+    }
+    goto forward_packet;
+end
+
+classify_ip:
+begin
+    if (ipv4_ptr->ver == 4 && ipv4_ptr->proto == PROTO_UDP) {
+        goto extract_source;
+    }
+    goto forward_packet;
+end
+
+extract_source:
+begin
+    r_src_ip = ipv4_ptr->src;
+    goto police_source;
+end
+"""
+
+
+NF_TELEMETRY_PARSE_SOURCE = """
+// Parse front-end of the telemetry NF (repro.nf.telemetry): classify
+// the frame and extract the canonical flow key (src, dst, sport, dport
+// — repro.net.headers.flow_key).  The per-flow accounting body is the
+// `account_flow` extern.
+
+struct ether_t {
+    dmac  : 48;
+    smac  : 48;
+    etype : 16;
+};
+
+struct ipv4_t {
+    ver      : 4;
+    ihl      : 4;
+    dscp     : 8;
+    length   : 16;
+    ident    : 16;
+    flags    : 3;
+    frag     : 13;
+    ttl      : 8;
+    proto    : 8;
+    checksum : 16;
+    src      : 32;
+    dst      : 32;
+};
+
+struct udp_t {
+    sport  : 16;
+    dport  : 16;
+    length : 16;
+    csum   : 16;
+};
+
+const ETYPE_IP = 0x0800;
+const PROTO_UDP = 17;
+
+// The four flow-key fields, handed to the accounting code.
+reg r_src_ip;
+reg r_dst_ip;
+reg r_sport;
+reg r_dport;
+
+ptr ether_ptr = ether_t @ 0;
+ptr ipv4_ptr = ipv4_t @ 14;
+ptr udp_ptr = udp_t @ 34;
+
+classify_ether:
+begin
+    if (ether_ptr->etype == ETYPE_IP) {
+        goto classify_ip;
+    }
+    goto forward_packet;
+end
+
+classify_ip:
+begin
+    if (ipv4_ptr->ver == 4 && ipv4_ptr->proto == PROTO_UDP) {
+        goto extract_addrs;
+    }
+    goto forward_packet;
+end
+
+extract_addrs:
+begin
+    r_src_ip = ipv4_ptr->src;
+    r_dst_ip = ipv4_ptr->dst;
+    goto extract_ports;
+end
+
+extract_ports:
+begin
+    r_sport = udp_ptr->sport;
+    r_dport = udp_ptr->dport;
+    goto account_flow;
+end
+"""
+
+
 @dataclass(frozen=True)
 class BuiltinProgram:
     """Source + binding of one shipped program, for tooling to enumerate."""
@@ -232,6 +372,18 @@ BUILTIN_PROGRAMS: Dict[str, BuiltinProgram] = {
         source=TRIO_ML_PARSE_SOURCE,
         entry="classify_ether",
         extern_labels=("forward_packet", "aggregate"),
+    ),
+    "nf_firewall_parse": BuiltinProgram(
+        name="nf_firewall_parse",
+        source=NF_FIREWALL_PARSE_SOURCE,
+        entry="classify_ether",
+        extern_labels=("forward_packet", "police_source"),
+    ),
+    "nf_telemetry_parse": BuiltinProgram(
+        name="nf_telemetry_parse",
+        source=NF_TELEMETRY_PARSE_SOURCE,
+        entry="classify_ether",
+        extern_labels=("forward_packet", "account_flow"),
     ),
 }
 

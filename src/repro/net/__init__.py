@@ -11,10 +11,13 @@ from repro.net.headers import (
     ETHERTYPE_ARP,
     ETHERTYPE_IPV4,
     EthernetHeader,
+    FlowKey,
     HeaderError,
     IPv4Header,
     UDPHeader,
+    flow_key,
     ipv4_checksum,
+    source_key,
 )
 from repro.net.packet import Packet
 from repro.net.link import Link, Port
@@ -30,6 +33,7 @@ __all__ = [
     "PacketTracer",
     "ETHERTYPE_IPV4",
     "EthernetHeader",
+    "FlowKey",
     "HeaderError",
     "Host",
     "IPv4Address",
@@ -42,5 +46,7 @@ __all__ = [
     "Port",
     "Topology",
     "UDPHeader",
+    "flow_key",
     "ipv4_checksum",
+    "source_key",
 ]

@@ -10,19 +10,29 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.net.addressing import IPv4Address, MACAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (packet -> headers)
+    from repro.net.packet import Packet
 
 __all__ = [
     "ETHERTYPE_ARP",
     "ETHERTYPE_IPV4",
     "EthernetHeader",
+    "FlowKey",
     "HeaderError",
     "IPv4Header",
     "UDPHeader",
+    "flow_key",
     "ipv4_checksum",
+    "source_key",
 ]
+
+#: Canonical 5-tuple-minus-protocol flow identity used by every consumer
+#: of per-flow state: (src_ip, dst_ip, src_port, dst_port) as plain ints.
+FlowKey = Tuple[int, int, int, int]
 
 ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_ARP = 0x0806
@@ -32,6 +42,30 @@ IPPROTO_UDP = 17
 
 class HeaderError(ValueError):
     """Raised when a header fails to parse or has inconsistent fields."""
+
+
+def flow_key(packet: "Packet") -> FlowKey:
+    """Extract the canonical UDP flow key from a packet.
+
+    This is the single flow-identity codec shared by the telemetry and
+    firewall data paths (both the Trio applications and the
+    :mod:`repro.nf` modules) — previously each application parsed and
+    tupled the headers itself, and the copies had already started to
+    drift in field order conventions.  Raises :class:`HeaderError` when
+    the frame is not Ethernet/IPv4/UDP.
+    """
+    __, ip, udp, __ = packet.parse_udp()
+    return (int(ip.src), int(ip.dst), udp.src_port, udp.dst_port)
+
+
+def source_key(packet: "Packet") -> int:
+    """Extract the source-IP key used for per-source (DDoS) state.
+
+    Same contract as :func:`flow_key`: raises :class:`HeaderError` on a
+    non-UDP frame, so callers treat unparseable traffic uniformly.
+    """
+    __, ip, __, __ = packet.parse_udp()
+    return int(ip.src)
 
 
 def ipv4_checksum(data: bytes) -> int:

@@ -1,0 +1,117 @@
+"""repro.nf — network functions, chains, and cost-driven placement.
+
+ROADMAP item 4: the Lemur-style multi-tenancy layer (§5 of the paper
+positions Trio alongside PISA switches and host cores for exactly this
+kind of split deployment).  A :class:`~repro.nf.base.NF` declares its
+per-packet handler and state resources once; :mod:`repro.nf.chain`
+parses ``"firewall -> telemetry -> aggregate"`` specs, checks per-NF
+feasibility against each backend's real budgets (Trio Microcode
+analysis, PISA stage SRAM, host workers), prices the feasible options
+with :mod:`repro.nf.cost`, and emits an executable placement whose
+packet-level results are bit-identical however the chain is split.
+
+The default registry mirrors :mod:`repro.collectives`: the three
+shipped NFs register themselves at import, and tests register variants
+via :func:`register_nf` / :func:`unregister_nf`.
+"""
+
+from repro.nf.base import (
+    NF,
+    NFError,
+    NFState,
+    PacketView,
+    STATE_COUNTER,
+    STATE_HASH_ENTRIES,
+    STATE_REGISTER_ARRAY,
+    STATE_TIMER_THREADS,
+    StateSpec,
+    VERDICT_CONSUME,
+    VERDICT_DROP,
+    VERDICT_FORWARD,
+)
+from repro.nf.registry import (
+    UnknownNFError,
+    available_nfs,
+    get_nf,
+    register_nf,
+    unregister_nf,
+)
+from repro.nf.aggregate import AggregateNF
+from repro.nf.firewall import DDoSMitigator, FirewallNF, StrikePolicy
+from repro.nf.telemetry import TelemetryMonitor, TelemetryNF, sweep_decision
+from repro.nf.chain import (
+    ChainError,
+    CompiledChain,
+    Feasibility,
+    PlacementCost,
+    compile_chain,
+    parse_chain,
+)
+from repro.nf.cost import (
+    BACKENDS,
+    BACKEND_HOST,
+    BACKEND_PISA,
+    BACKEND_TRIO,
+    CROSSING_LATENCY_S,
+    HostCostModel,
+    NFCost,
+    PisaCostModel,
+    TrioCostModel,
+    default_models,
+)
+from repro.nf.exec import ChainRunResult, generate_trace, run_chain
+from repro.nf.placement import enumerate_placements, greedy_place
+
+__all__ = [
+    "AggregateNF",
+    "BACKENDS",
+    "BACKEND_HOST",
+    "BACKEND_PISA",
+    "BACKEND_TRIO",
+    "CROSSING_LATENCY_S",
+    "ChainError",
+    "ChainRunResult",
+    "CompiledChain",
+    "Feasibility",
+    "HostCostModel",
+    "NFCost",
+    "PisaCostModel",
+    "PlacementCost",
+    "TrioCostModel",
+    "compile_chain",
+    "default_models",
+    "enumerate_placements",
+    "generate_trace",
+    "greedy_place",
+    "parse_chain",
+    "run_chain",
+    "DDoSMitigator",
+    "FirewallNF",
+    "NF",
+    "NFError",
+    "NFState",
+    "PacketView",
+    "STATE_COUNTER",
+    "STATE_HASH_ENTRIES",
+    "STATE_REGISTER_ARRAY",
+    "STATE_TIMER_THREADS",
+    "StateSpec",
+    "StrikePolicy",
+    "TelemetryMonitor",
+    "TelemetryNF",
+    "UnknownNFError",
+    "VERDICT_CONSUME",
+    "VERDICT_DROP",
+    "VERDICT_FORWARD",
+    "available_nfs",
+    "get_nf",
+    "register_nf",
+    "sweep_decision",
+    "unregister_nf",
+]
+
+#: The shipped NFs, registered at import so chain specs resolve by name.
+for _nf in (FirewallNF(), TelemetryNF(), AggregateNF()):
+    if _nf.name not in available_nfs():
+        register_nf(_nf)
+del _nf

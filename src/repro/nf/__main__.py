@@ -1,0 +1,8 @@
+"""``python -m repro.nf`` — the NF chain CLI (see repro.nf.chain)."""
+
+import sys
+
+from repro.nf.chain import main
+
+if __name__ == "__main__":
+    sys.exit(main())

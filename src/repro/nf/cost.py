@@ -1,0 +1,172 @@
+"""Per-backend cost models for NF placement.
+
+Each model prices one NF's per-packet work on one backend, in seconds
+of modeled latency per packet — the common currency the placement
+search minimises.  The numbers are anchored to the same architectural
+parameters the rest of the reproduction simulates:
+
+* **Trio** (:class:`TrioCostModel`): PPE instructions at the
+  single-thread issue rate (§2.2: one instruction per
+  ``pipeline_depth_cycles``), plus one SRAM-latency XTXN per declared
+  hash lookup and RMW (§2.3: ~70 ns).  The instruction count is the
+  statically analysed worst-case bound of the NF's Microcode parse
+  front-end plus its declared body charge.
+* **PISA** (:class:`PisaCostModel`): line-rate admission (one packet
+  slot) plus the amortised control-plane register scan that replaces
+  timer threads — PISA has no data-plane timers, so periodic work reads
+  every declared register element from the control plane once per
+  epoch (the SwitchML §6.1 pattern).  Scan-heavy NFs are therefore
+  expensive on PISA, which is exactly the paper's argument for Trio's
+  timer threads.
+* **Host** (:class:`HostCostModel`): the NF's declared per-packet CPU
+  nanoseconds on a software worker.
+
+Crossing between backends mid-chain charges one fabric/PCIe hop per
+packet (:data:`CROSSING_LATENCY_S`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.nf.base import NF, STATE_TIMER_THREADS
+from repro.trio.chipset import GENERATIONS, TrioChipsetConfig
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_HOST",
+    "BACKEND_PISA",
+    "BACKEND_TRIO",
+    "CROSSING_LATENCY_S",
+    "CostModel",
+    "HostCostModel",
+    "NFCost",
+    "PisaCostModel",
+    "TrioCostModel",
+    "default_models",
+]
+
+BACKEND_TRIO = "trio"
+BACKEND_PISA = "pisa"
+BACKEND_HOST = "host"
+
+#: Canonical backend order (also the deterministic tie-break order).
+BACKENDS: Tuple[str, ...] = (BACKEND_TRIO, BACKEND_PISA, BACKEND_HOST)
+
+#: One packet handed from one backend to the next mid-chain: a fabric
+#: hop or PCIe transfer, charged once per boundary per packet.
+CROSSING_LATENCY_S = 50e-9
+
+
+@dataclass(frozen=True)
+class NFCost:
+    """Modeled per-packet cost of one NF on one backend."""
+
+    nf: str
+    backend: str
+    per_packet_s: float
+    detail: str
+
+    @property
+    def per_packet_ns(self) -> float:
+        return self.per_packet_s * 1e9
+
+
+class CostModel:
+    """Base: price one NF's per-packet work on this model's backend."""
+
+    backend: str = "?"
+
+    def cost(self, nf: NF, parse_bound: float = 0.0) -> NFCost:
+        raise NotImplementedError
+
+
+class TrioCostModel(CostModel):
+    """PPE instruction time plus SRAM XTXN latencies."""
+
+    backend = BACKEND_TRIO
+
+    def __init__(self, config: Optional[TrioChipsetConfig] = None) -> None:
+        self.config = config if config is not None else GENERATIONS[5]
+
+    def cost(self, nf: NF, parse_bound: float = 0.0) -> NFCost:
+        config = self.config
+        instructions = nf.trio_instructions_per_packet(parse_bound)
+        hash_ops, rmw_ops = nf.trio_state_ops_per_packet()
+        instr_s = instructions * config.single_thread_instr_s
+        state_s = (hash_ops + rmw_ops) * config.sram_latency_s
+        return NFCost(
+            nf=nf.name,
+            backend=self.backend,
+            per_packet_s=instr_s + state_s,
+            detail=(
+                f"{instructions:.0f} instr x "
+                f"{config.single_thread_instr_s * 1e9:.0f} ns + "
+                f"{hash_ops} hash + {rmw_ops} rmw XTXN x "
+                f"{config.sram_latency_s * 1e9:.0f} ns"
+            ),
+        )
+
+
+class PisaCostModel(CostModel):
+    """Line-rate slot plus amortised control-plane epoch scans."""
+
+    backend = BACKEND_PISA
+
+    #: Control-plane read of one register element during an epoch scan.
+    CONTROL_READ_S = 20e-9
+
+    def __init__(self, pipeline_rate_pps: float = 1.0e9) -> None:
+        self.pipeline_rate_pps = pipeline_rate_pps
+
+    def cost(self, nf: NF, parse_bound: float = 0.0) -> NFCost:
+        slot_s = 1.0 / self.pipeline_rate_pps
+        has_timers = any(
+            spec.kind == STATE_TIMER_THREADS for spec in nf.state_resources()
+        )
+        scanned = sum(size for __, size, __ in nf.pisa_registers())
+        scan_s = 0.0
+        if has_timers and scanned:
+            scan_s = scanned * self.CONTROL_READ_S / nf.epoch_packets
+        return NFCost(
+            nf=nf.name,
+            backend=self.backend,
+            per_packet_s=slot_s + scan_s,
+            detail=(
+                f"1 pipeline slot ({slot_s * 1e9:.0f} ns) + "
+                f"{scanned} reg scan / {nf.epoch_packets} pkt epoch"
+                if scan_s else f"1 pipeline slot ({slot_s * 1e9:.0f} ns)"
+            ),
+        )
+
+
+class HostCostModel(CostModel):
+    """Declared software-worker CPU time."""
+
+    backend = BACKEND_HOST
+
+    def cost(self, nf: NF, parse_bound: float = 0.0) -> NFCost:
+        return NFCost(
+            nf=nf.name,
+            backend=self.backend,
+            per_packet_s=nf.host_ns_per_packet * 1e-9,
+            detail=f"{nf.host_ns_per_packet:.0f} ns CPU per packet",
+        )
+
+
+def default_models(
+    trio_config: Optional[TrioChipsetConfig] = None,
+    pipeline_rate_pps: float = 1.0e9,
+) -> Tuple[CostModel, ...]:
+    """The three shipped cost models, in :data:`BACKENDS` order.
+
+    ``pipeline_rate_pps`` defaults to PisaPipeline's line-rate packet
+    budget so the PISA model prices the same device the compiler
+    validates against.
+    """
+    return (
+        TrioCostModel(trio_config),
+        PisaCostModel(pipeline_rate_pps),
+        HostCostModel(),
+    )

@@ -1,0 +1,79 @@
+"""Placement search over a compiled chain.
+
+Two strategies, both deterministic:
+
+* :func:`enumerate_placements` — exhaustive: every joint-legal
+  assignment of feasible backends, priced and sorted by modeled cost
+  (ties broken by the placement tuple, so output order never depends
+  on dict/set iteration).  Chains are short — three NFs over three
+  backends is 27 candidates — so exhaustion is cheap and doubles as the
+  ground truth the greedy result is checked against in tests.
+* :func:`greedy_place` — the cost-driven heuristic the CLI and harness
+  use by default: walk the chain left to right, picking for each NF the
+  feasible backend minimising its own cost plus the boundary-crossing
+  charge from the previous NF's backend (ties broken in
+  :data:`repro.nf.cost.BACKENDS` order).  If the greedy assignment
+  violates a joint constraint (shared Trio timers, PISA stage budget),
+  it falls back to the cheapest enumerated placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.nf.chain import ChainError, CompiledChain, PlacementCost
+from repro.nf.cost import CROSSING_LATENCY_S
+
+__all__ = ["enumerate_placements", "greedy_place"]
+
+
+def enumerate_placements(compiled: CompiledChain) -> Tuple[PlacementCost, ...]:
+    """Every joint-legal placement, cheapest first.
+
+    Raises :class:`ChainError` if no legal placement exists (an NF with
+    an empty feasible set, or joint constraints excluding everything).
+    """
+    per_nf = [compiled.feasible_backends(name) for name in compiled.names]
+    options: List[PlacementCost] = []
+    for candidate in itertools.product(*per_nf):
+        if compiled.validate_placement(candidate):
+            continue
+        options.append(compiled.placement_costs(candidate))
+    if not options:
+        raise ChainError(
+            f"chain {compiled.spec!r} has no legal placement"
+        )
+    options.sort(key=lambda option: (option.per_packet_s, option.placement))
+    return tuple(options)
+
+
+def greedy_place(compiled: CompiledChain) -> Tuple[str, ...]:
+    """Cost-driven greedy placement (with exhaustive fallback)."""
+    by_backend = {model.backend: model for model in compiled.models}
+    placement: List[str] = []
+    previous = ""
+    for name, nf in zip(compiled.names, compiled.nfs):
+        backends = compiled.feasible_backends(name)
+        if not backends:
+            raise ChainError(f"NF {name!r} is feasible on no backend")
+        best: Tuple[float, int] = (float("inf"), len(backends))
+        best_backend = backends[0]
+        for order, backend in enumerate(backends):
+            nf_cost = by_backend[backend].cost(
+                nf, compiled.parse_bounds.get(name, 0.0)
+            ).per_packet_s
+            crossing = (
+                CROSSING_LATENCY_S
+                if previous and backend != previous else 0.0
+            )
+            candidate = (nf_cost + crossing, order)
+            if candidate < best:
+                best = candidate
+                best_backend = backend
+        placement.append(best_backend)
+        previous = best_backend
+    if compiled.validate_placement(placement):
+        # Greedy tripped a joint constraint; take the cheapest legal one.
+        return enumerate_placements(compiled)[0].placement
+    return tuple(placement)

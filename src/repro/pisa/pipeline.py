@@ -19,6 +19,7 @@ from repro.net.packet import Packet
 from repro.sim import Environment, Store
 
 __all__ = [
+    "ComposedProgram",
     "P4Program",
     "PipelineError",
     "PisaPipeline",
@@ -204,6 +205,50 @@ class P4Program:
         return PassResult(dropped=True)
 
 
+class ComposedProgram(P4Program):
+    """Several stage-disjoint programs sharing one pipeline.
+
+    Built by :meth:`PisaPipeline.install_many`.  Sub-programs run in
+    installation order within the same pass; a sub-program signals
+    "continue to the next program" by emitting the original packet (the
+    standard forwarding idiom), and the composed program defers that
+    emission until the last sub-program has run.  A drop, consume, or
+    recirculation by any sub-program ends the pass there — exactly how a
+    dropped packet never reaches later stages of a physical pipeline.
+    Extra packets (results, clones) are emitted immediately.
+    """
+
+    name = "composed"
+
+    def __init__(self, programs: List[P4Program]):
+        super().__init__()
+        self.programs = list(programs)
+        for program in self.programs:
+            self.registers.update(program.registers)
+
+    def process(self, ctx: StageContext, packet: Packet,
+                pass_index: int) -> PassResult:
+        final = PassResult()
+        egress: Optional[str] = None
+        for program in self.programs:
+            result = program.process(ctx, packet, pass_index)
+            forwarded = False
+            for out_packet, out_egress in result.emit:
+                if out_packet is packet:
+                    forwarded = True
+                    egress = out_egress
+                else:
+                    final.emit.append((out_packet, out_egress))
+            if result.recirculate:
+                final.recirculate = True
+                return final
+            if not forwarded:
+                final.dropped = result.dropped
+                return final
+        final.emit.append((packet, egress))
+        return final
+
+
 class PisaPipeline:
     """One ingress-to-egress pipeline with fixed stages and line-rate flow.
 
@@ -237,12 +282,10 @@ class PisaPipeline:
         self.drops = 0
         env.process(self._pipeline_loop(), name=f"pisa:{name}")
 
-    def install(self, program: P4Program) -> P4Program:
-        """Install a program, validating its register placement."""
-        program.pipeline = self
-        program.on_install(self)
+    def _validate_registers(self, registers: List[RegisterArray]) -> None:
+        """Check stage range and per-stage SRAM for a register set."""
         per_stage_bits: Dict[int, int] = {}
-        for reg in program.registers.values():
+        for reg in registers:
             if not 0 <= reg.stage < self.num_stages:
                 raise PipelineError(
                     f"register {reg.name!r} placed in stage {reg.stage}, "
@@ -255,8 +298,56 @@ class PisaPipeline:
                     f"stage {stage} needs {bits} register bits, budget is "
                     f"{self.STAGE_SRAM_BITS}"
                 )
+
+    def install(self, program: P4Program) -> P4Program:
+        """Install a program, validating its register placement."""
+        program.pipeline = self
+        program.on_install(self)
+        self._validate_registers(list(program.registers.values()))
         self.program = program
         return program
+
+    def install_many(self, programs: List[P4Program]) -> ComposedProgram:
+        """Install several programs side by side (stage-disjoint).
+
+        Multi-tenancy on one pipeline: each program keeps its own
+        registers, but no stage may be shared between two programs and
+        no register name may collide — both raise :class:`PipelineError`
+        naming the offending programs, as does blowing a stage's SRAM
+        budget.  Returns the :class:`ComposedProgram` that now owns the
+        pass loop.
+        """
+        if not programs:
+            raise PipelineError("install_many needs at least one program")
+        owner_by_register: Dict[str, str] = {}
+        owner_by_stage: Dict[int, str] = {}
+        for program in programs:
+            program.pipeline = self
+            program.on_install(self)
+            for reg in program.registers.values():
+                if reg.name in owner_by_register:
+                    raise PipelineError(
+                        f"register {reg.name!r} declared by both "
+                        f"{owner_by_register[reg.name]!r} and "
+                        f"{program.name!r}"
+                    )
+                owner_by_register[reg.name] = program.name
+                stage_owner = owner_by_stage.get(reg.stage)
+                if stage_owner is not None and stage_owner != program.name:
+                    raise PipelineError(
+                        f"stage {reg.stage} used by both {stage_owner!r} "
+                        f"and {program.name!r}; composed programs must be "
+                        "stage-disjoint"
+                    )
+                owner_by_stage[reg.stage] = program.name
+        self._validate_registers(
+            [reg for program in programs
+             for reg in program.registers.values()]
+        )
+        composed = ComposedProgram(programs)
+        composed.pipeline = self
+        self.program = composed
+        return composed
 
     def set_emit_handler(
         self, handler: Callable[[Packet, Optional[str]], None]

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.headers import HeaderError
@@ -43,6 +43,9 @@ from repro.trioml.protocol import (
     encode_trio_ml,
 )
 from repro.trioml.records import BlockRecord, JobRecord
+
+if TYPE_CHECKING:
+    from repro.nf.base import StateSpec
 
 __all__ = ["JobRuntime", "TrioMLAggregator"]
 
@@ -131,6 +134,44 @@ class TrioMLAggregator(TrioApplication):
         self.stale_packets = 0
         self.no_job_drops = 0
         self.block_cap_drops = 0
+
+    # ------------------------------------------------------------------
+    # NF wrapper (repro.nf)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def nf_state_resources(cls, max_blocks: int, grads_per_block: int,
+                           timer_threads: int = 0) -> Tuple["StateSpec", ...]:
+        """The aggregation path's state footprint in NF terms.
+
+        This is what :class:`repro.nf.aggregate.AggregateNF` declares to
+        the chain compiler: block records in the hash block, one 32-bit
+        aggregation slot per gradient (the RMW add32 targets), and the
+        drop counter.  ``timer_threads`` > 0 adds the straggler-timeout
+        sweep threads.  Imported lazily — :mod:`repro.nf` wraps this
+        module, so a top-level import would be circular.
+        """
+        from repro.nf.base import (
+            STATE_COUNTER,
+            STATE_HASH_ENTRIES,
+            STATE_REGISTER_ARRAY,
+            STATE_TIMER_THREADS,
+            StateSpec,
+        )
+
+        specs = [
+            StateSpec(STATE_HASH_ENTRIES, "blocks", entries=max_blocks,
+                      width_bits=64),
+            StateSpec(STATE_REGISTER_ARRAY, "agg_buffers",
+                      entries=max_blocks * grads_per_block, width_bits=32),
+            StateSpec(STATE_COUNTER, "drops", entries=1, width_bits=64),
+        ]
+        if timer_threads:
+            specs.append(
+                StateSpec(STATE_TIMER_THREADS, "straggler_sweep",
+                          threads=timer_threads)
+            )
+        return tuple(specs)
 
     # ------------------------------------------------------------------
     # Control plane

@@ -134,3 +134,49 @@ class TestUDPHeader:
         corrupted = raw[:4] + (3).to_bytes(2, "big") + raw[6:]
         with pytest.raises(HeaderError):
             UDPHeader.parse(corrupted)
+
+
+class TestFlowKeyHelpers:
+    """The shared flow-identity codec used by the apps and the NFs."""
+
+    def make_udp(self, src="10.0.0.1", dst="10.0.0.2",
+                 src_port=1000, dst_port=2000):
+        from repro.net import Packet
+
+        return Packet.udp(
+            src_mac=MACAddress(0x02_00_00_00_00_01),
+            dst_mac=MACAddress(0x02_00_00_00_00_02),
+            src_ip=IPv4Address(src),
+            dst_ip=IPv4Address(dst),
+            src_port=src_port,
+            dst_port=dst_port,
+            payload=b"x" * 16,
+        )
+
+    def test_flow_key_field_order(self):
+        from repro.net.headers import flow_key
+
+        packet = self.make_udp()
+        assert flow_key(packet) == (
+            int(IPv4Address("10.0.0.1")), int(IPv4Address("10.0.0.2")),
+            1000, 2000,
+        )
+
+    def test_source_key_is_src_ip(self):
+        from repro.net.headers import flow_key, source_key
+
+        packet = self.make_udp(src="192.168.7.9")
+        assert source_key(packet) == int(IPv4Address("192.168.7.9"))
+        assert source_key(packet) == flow_key(packet)[0]
+
+    def test_non_udp_rejected(self):
+        from repro.net import Packet
+        from repro.net.headers import flow_key, source_key
+
+        arp = Packet(EthernetHeader(
+            src=MACAddress(1), dst=MACAddress(2), ethertype=0x0806
+        ).pack() + bytes(46))
+        with pytest.raises(HeaderError):
+            flow_key(arp)
+        with pytest.raises(HeaderError):
+            source_key(arp)

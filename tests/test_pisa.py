@@ -172,6 +172,142 @@ class TestPisaPipeline:
         assert pipeline.drops == 1
 
 
+class _StageProgram(P4Program):
+    """Counts packets in one register, then forwards the original."""
+
+    def __init__(self, name, stage, size=4, width_bits=32):
+        super().__init__()
+        self.name = name
+        self._stage = stage
+        self._size = size
+        self._width = width_bits
+
+    def on_install(self, pipeline):
+        self.counter = self.register(
+            f"{self.name}.count", self._stage, self._size, self._width
+        )
+
+    def process(self, ctx, packet, pass_index):
+        ctx.stage(self._stage)
+        ctx.read_modify_write(self.counter, 0, lambda v: v + 1)
+        return PassResult(emit=[(packet, "out")])
+
+
+class TestInstallMany:
+    def make(self, num_stages=12):
+        return PisaPipeline(Environment(), "pipe", num_stages=num_stages)
+
+    def test_stage_disjoint_programs_compose(self):
+        pipeline = self.make()
+        a = _StageProgram("a", stage=0)
+        b = _StageProgram("b", stage=1)
+        composed = pipeline.install_many([a, b])
+        assert pipeline.program is composed
+        assert set(composed.registers) == {"a.count", "b.count"}
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(PipelineError, match="at least one"):
+            self.make().install_many([])
+
+    def test_register_name_collision_names_both_programs(self):
+        a = _StageProgram("a", stage=0)
+        b = _StageProgram("b", stage=1)
+        b.name = "a"  # so both declare 'a.count'
+        with pytest.raises(PipelineError,
+                           match="declared by both 'a' and 'a'"):
+            self.make().install_many([a, b])
+
+    def test_stage_sharing_rejected(self):
+        a = _StageProgram("a", stage=3)
+        b = _StageProgram("b", stage=3)
+        with pytest.raises(PipelineError, match="stage-disjoint"):
+            self.make().install_many([a, b])
+
+    def test_joint_sram_budget_enforced(self):
+        # The SRAM check runs over the union of all composed programs'
+        # registers, not just the last one installed.
+        big = _StageProgram("big", stage=0,
+                            size=PisaPipeline.STAGE_SRAM_BITS // 32 + 1)
+        small = _StageProgram("small", stage=1)
+        with pytest.raises(PipelineError, match="budget"):
+            self.make().install_many([big, small])
+
+    def test_composed_pass_runs_programs_in_order(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+        a = _StageProgram("a", stage=0)
+        b = _StageProgram("b", stage=1)
+        pipeline.install_many([a, b])
+        emitted = []
+        pipeline.set_emit_handler(lambda p, e: emitted.append((p, e)))
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        # Both programs saw the packet; the original egressed exactly once.
+        assert a.counter.read_raw(0) == 1
+        assert b.counter.read_raw(0) == 1
+        assert len(emitted) == 1
+
+    def test_drop_short_circuits_later_programs(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+
+        class Dropper(P4Program):
+            name = "dropper"
+
+            def process(self, ctx, packet, pass_index):
+                return PassResult(dropped=True)
+
+        tail = _StageProgram("tail", stage=1)
+        pipeline.install_many([Dropper(), tail])
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        assert tail.counter.read_raw(0) == 0
+        assert pipeline.drops == 1
+
+    def test_extra_packets_emitted_immediately(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+        clone = Packet(bytes(32))
+
+        class Cloner(P4Program):
+            name = "cloner"
+
+            def process(self, ctx, packet, pass_index):
+                return PassResult(emit=[(packet, "fwd"), (clone, "mirror")])
+
+        tail = _StageProgram("tail", stage=1)
+        pipeline.install_many([Cloner(), tail])
+        emitted = []
+        pipeline.set_emit_handler(lambda p, e: emitted.append((p, e)))
+        original = Packet(bytes(64))
+        pipeline.submit(original)
+        env.run(until=1e-3)
+        # The clone egresses; the original continues into 'tail' and
+        # egresses last with the egress the last forwarder chose.
+        assert emitted == [(clone, "mirror"), (original, "out")]
+        assert tail.counter.read_raw(0) == 1
+
+    def test_recirculation_short_circuits(self):
+        env = Environment()
+        pipeline = PisaPipeline(env, "pipe")
+
+        class OnePassRecirc(P4Program):
+            name = "recirc"
+
+            def process(self, ctx, packet, pass_index):
+                if pass_index == 0:
+                    return PassResult(recirculate=True)
+                return PassResult(emit=[(packet, "out")])
+
+        tail = _StageProgram("tail", stage=1)
+        pipeline.install_many([OnePassRecirc(), tail])
+        pipeline.submit(Packet(bytes(64)))
+        env.run(until=1e-3)
+        # Pass 0 recirculated before 'tail' ran; pass 1 reached it.
+        assert pipeline.recirculations == 1
+        assert tail.counter.read_raw(0) == 1
+
+
 class TestTofinoSwitch:
     def test_port_to_pipeline_mapping(self):
         env = Environment()
