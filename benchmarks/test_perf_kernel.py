@@ -98,6 +98,26 @@ def test_nf_chain_meets_throughput_floor():
     )
 
 
+#: The traffic library generates ~270k websearch flow specs/s on the
+#: reference box (CDF inverse-transform sizes, Poisson arrivals); 50k is
+#: a generous floor that still catches an accidental per-flow sampler
+#: rebuild or CDF re-validation landing in the generation loop.
+MIN_TRAFFIC_FLOWS_PER_S = 50_000
+
+
+def test_traffic_generation_meets_throughput_floor():
+    rate = _sustained(
+        lambda events, repeats: perfjson.bench_traffic(
+            num_flows=events // 4, repeats=repeats
+        ),
+        MIN_TRAFFIC_FLOWS_PER_S,
+    )
+    assert rate >= MIN_TRAFFIC_FLOWS_PER_S, (
+        f"traffic generator sustained {rate:,.0f} flows/s, below the "
+        f"{MIN_TRAFFIC_FLOWS_PER_S:,} floor"
+    )
+
+
 def test_macro_packet_path_reports_throughput():
     stats = perfjson.bench_packet_path(blocks=40, repeats=2)
     assert stats["packets"] > 0

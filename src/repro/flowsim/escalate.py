@@ -91,6 +91,16 @@ class EscalationConfig:
     pfe_contention_threshold: int = 4
     #: Per-flow payload bytes of the incast/straggler reference runs.
     reference_flow_bytes: int = 20_000
+    #: Fan-in at or above which ``"microburst"``-tagged flows (the
+    #: traffic library's back-to-back fan-in trains) escalate.  Lower
+    #: than the generic incast threshold: a microburst wave is all
+    #: queue-drain transient, so the fluid model is wrong earlier.
+    microburst_degree: int = 6
+    #: Fan-in at or above which ``"ddos"``-tagged flood flows escalate.
+    #: Higher than the incast threshold: a volley below this is noise
+    #: the fair-share model absorbs; at or above it the victim's drain
+    #: queue is the system.
+    ddos_degree: int = 16
 
 
 class EscalationPolicy:
@@ -120,16 +130,25 @@ class EscalationPolicy:
                 >= config.pfe_contention_threshold):
             return "pfe-hash"
         dst_host = engine.topology.hosts.get(spec.dst)
+        fan_in = dst_host.fluid_fan_in if dst_host is not None else 0
+        # Service-tagged fan-in classes from the traffic library.  Both
+        # are gated on their tag, so workloads that never emit them
+        # (every pre-traffic scenario) classify exactly as before.
+        if (spec.service == "microburst"
+                and fan_in >= config.microburst_degree):
+            return "microburst"
+        if spec.service == "ddos" and fan_in >= config.ddos_degree:
+            return "ddos"
         if (dst_host is not None
-                and dst_host.fluid_fan_in >= config.incast_degree
+                and fan_in >= config.incast_degree
                 and spec.size_bytes <= config.incast_max_flow_bytes):
             return "incast"
         return None
 
     def group_key(self, spec: FlowSpec, reason: str) -> Tuple[str, str]:
         """Escalated flows sharing a group share one packet reference."""
-        if reason == "incast":
-            return ("incast", spec.dst)
+        if reason in ("incast", "microburst", "ddos"):
+            return (reason, spec.dst)
         if reason == "pfe-hash":
             return ("pfe-hash", "pfe")
         return ("straggler", spec.src)
@@ -147,7 +166,10 @@ class EscalationPolicy:
         reason = group[0]
         config = self.config
         with _obs.suppressed():
-            if reason == "incast":
+            if reason in ("incast", "microburst", "ddos"):
+                # All three are fan-in regimes: the victim's drain
+                # queue, not the fair share, sets the rate, so one
+                # bucketed fan-in reference covers them.
                 degree = _degree_bucket(len(members))
                 bottleneck = engine.group_bottleneck_bps(members)
                 ref = packetref.packet_fan_in(

@@ -139,7 +139,13 @@ def build_leaf_spine(env: Environment,
 def generate_flows(env: Environment,
                    config: ScenarioConfig) -> List[FlowSpec]:
     """The scenario's flow list, drawn from the environment's seed tree."""
+    # Imported here, not at module level: repro.traffic imports this
+    # module for the fabric (FlowSpec, host_name, build_leaf_spine), so
+    # a top-level import back into repro.traffic would be circular.
+    from repro.traffic.samplers import ExponentialSizes, fan_in_burst
+
     rng = env.rng_stream("flowsim/scenario")
+    bulk_sizes = ExponentialSizes(config.mean_flow_bytes)
     hosts = [host_name(leaf, index)
              for leaf in range(config.leaves)
              for index in range(config.hosts_per_leaf)]
@@ -163,11 +169,8 @@ def generate_flows(env: Environment,
             # A synchronised allreduce step: `aggregation_degree`
             # workers ship a gradient block to one aggregation point at
             # the same instant.
-            target = rng.randrange(num_hosts)
-            workers = rng.sample(
-                [h for h in range(num_hosts) if h != target],
-                min(config.aggregation_degree, num_hosts - 1),
-            )
+            target, workers = fan_in_burst(
+                rng, num_hosts, config.aggregation_degree)
             for worker in workers:
                 flows.append(FlowSpec(
                     flow_id=flow_id,
@@ -185,11 +188,8 @@ def generate_flows(env: Environment,
         if burst:
             # A synchronised fan-in: `incast_degree` short flows from
             # distinct sources arriving at the same instant.
-            victim = rng.randrange(num_hosts)
-            senders = rng.sample(
-                [h for h in range(num_hosts) if h != victim],
-                min(config.incast_degree, num_hosts - 1),
-            )
+            victim, senders = fan_in_burst(
+                rng, num_hosts, config.incast_degree)
             for sender in senders:
                 flows.append(FlowSpec(
                     flow_id=flow_id,
@@ -206,8 +206,7 @@ def generate_flows(env: Environment,
         dst = rng.randrange(num_hosts - 1)
         if dst >= src:
             dst += 1
-        size = max(1458.0,
-                   rng.expovariate(1.0 / config.mean_flow_bytes))
+        size = bulk_sizes.sample(rng)
         flows.append(FlowSpec(
             flow_id=flow_id,
             src=hosts[src],

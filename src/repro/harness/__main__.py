@@ -92,6 +92,14 @@ def _run_chains(fast: bool, parallel=None) -> str:
     ))
 
 
+def _run_traffic(fast: bool, parallel=None) -> str:
+    return figures.render_traffic_sweep(exp.traffic_sweep(
+        num_flows=5_000 if fast else 100_000,
+        chain_packets=2048 if fast else 4096,
+        parallel=parallel,
+    ), chain=exp.TRAFFIC_CHAIN)
+
+
 def _run_calibrate() -> str:
     from repro.collectives.calibrate import calibrate, render_calibration
 
@@ -156,6 +164,7 @@ def build_registry(fast: bool, chart: bool = False, parallel=None
         "backends": partial(_run_backends, parallel=parallel),
         "hybrid": partial(_run_hybrid, fast, parallel=parallel),
         "chains": partial(_run_chains, fast, parallel=parallel),
+        "traffic": partial(_run_traffic, fast, parallel=parallel),
         "calibrate": _run_calibrate,
         "analysis": _run_analysis,
         "ablations": partial(_run_ablations, fast),

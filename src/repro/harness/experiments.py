@@ -42,6 +42,8 @@ __all__ = [
     "Fig16Row",
     "HybridRow",
     "ProgramAnalysis",
+    "TRAFFIC_CHAIN",
+    "TrafficRow",
     "ablation_hierarchy",
     "ablation_rmw_offload",
     "ablation_scan_threads",
@@ -60,6 +62,7 @@ __all__ = [
     "profile_dataplane_slice",
     "profile_flowsim_slice",
     "table1_models",
+    "traffic_sweep",
 ]
 
 #: Straggle probabilities swept in Figure 13 (x-axis 0..16%).
@@ -936,6 +939,114 @@ def profile_flowsim_slice(num_flows: int = 300) -> Dict[str, float]:
     for reason, count in sorted(result.escalations.items()):
         stats[f"escalations.{reason}"] = float(count)
     return stats
+
+
+# ---------------------------------------------------------------------------
+# Traffic scenario sweep (ROADMAP item 1, repro.traffic)
+# ---------------------------------------------------------------------------
+
+#: The chain every scenario's packet stream is validated against: the
+#: DDoS and heavy-hitter families exist to exercise exactly these two
+#: NFs (per-source policers, per-flow accounting).
+TRAFFIC_CHAIN = "firewall -> telemetry"
+
+
+@dataclass
+class TrafficRow:
+    """One registered traffic scenario, run at both simulation levels.
+
+    The fluid columns come from a full hybrid run of the scenario on
+    its own fabric; the packet columns from pushing the same scenario's
+    wire-format stream through :data:`TRAFFIC_CHAIN`.
+    """
+
+    scenario: str
+    flows: int
+    mean_fct_ms: float
+    p99_fct_ms: float
+    mean_goodput_gbps: float
+    simulated_gbytes: float
+    sim_seconds: float
+    solves: int
+    #: Escalation counts by reason — now including the traffic
+    #: library's "microburst" and "ddos" classes.
+    escalations: Dict[str, int]
+    chain_packets: int
+    forwarded: int
+    dropped: int
+    consumed: int
+
+    @property
+    def escalated_total(self) -> int:
+        return sum(self.escalations.values())
+
+    @property
+    def drop_fraction(self) -> float:
+        if self.chain_packets <= 0:
+            return 0.0
+        return self.dropped / self.chain_packets
+
+
+def _traffic_point(args: Tuple[str, int, int]) -> TrafficRow:
+    """One scenario: a fluid run plus a packet run through the chain.
+
+    Self-contained — the scenario is looked up by name and both runs
+    are pure functions of ``(name, sizes, process default seed)`` — so
+    points fan across worker processes bit-identically.
+    """
+    from repro.nf import compile_chain, greedy_place, run_chain
+    from repro.traffic import get_scenario, packet_stream, run_fluid
+
+    name, num_flows, chain_packets = args
+    scenario = get_scenario(name)
+    fluid = run_fluid(scenario, num_flows)
+    summary = fluid.summary
+
+    compiled = compile_chain(TRAFFIC_CHAIN)
+    placement = greedy_place(compiled)
+    cost = compiled.placement_costs(placement)
+    trace = packet_stream(scenario, chain_packets)
+    chain = run_chain(compiled.spec, compiled.nfs, placement, trace,
+                      per_packet_s=cost.per_packet_s)
+    tallies = chain.flow_verdicts.values()
+    return TrafficRow(
+        scenario=name,
+        flows=int(summary["flows"]),
+        mean_fct_ms=summary["mean_fct_s"] * 1e3,
+        p99_fct_ms=summary["p99_fct_s"] * 1e3,
+        mean_goodput_gbps=summary["mean_goodput_bps"] / 1e9,
+        simulated_gbytes=fluid.simulated_payload_bytes / 1e9,
+        sim_seconds=fluid.sim_seconds,
+        solves=fluid.solves,
+        escalations=dict(sorted(fluid.escalations.items())),
+        chain_packets=chain.packets,
+        forwarded=sum(t[0] for t in tallies),
+        dropped=sum(t[1] for t in tallies),
+        consumed=sum(t[2] for t in tallies),
+    )
+
+
+def traffic_sweep(
+    scenarios: Optional[Sequence[str]] = None,
+    num_flows: int = 100_000,
+    chain_packets: int = 4096,
+    parallel: Optional[int] = None,
+) -> List[TrafficRow]:
+    """Every registered traffic scenario at datacenter flow counts.
+
+    Each point drives one scenario end-to-end through the fluid level
+    (``num_flows`` flows on the scenario's leaf/spine fabric, the
+    escalation boundary active) and through :data:`TRAFFIC_CHAIN` at
+    packet level.  Scenario streams live under distinct seed-tree keys
+    (``traffic/<name>``), so every point is a pure function of its
+    arguments plus the process default seed and ``--parallel`` runs are
+    bit-identical to serial ones.
+    """
+    from repro.traffic import available_scenarios
+
+    names = list(scenarios) if scenarios else list(available_scenarios())
+    points = [(name, num_flows, chain_packets) for name in names]
+    return _map_points(_traffic_point, points, parallel)
 
 
 # ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@ __all__ = [
     "render_fig16",
     "render_hybrid_sweep",
     "render_program_analysis",
+    "render_traffic_sweep",
     "render_ablation",
     "render_generation_scaling",
     "to_csv",
@@ -24,6 +25,7 @@ __all__ = [
     "fig15_to_csv",
     "fig16_to_csv",
     "hybrid_to_csv",
+    "traffic_to_csv",
 ]
 
 
@@ -204,6 +206,41 @@ def render_hybrid_sweep(rows: Sequence["exp.HybridRow"]) -> str:
     return "\n".join(lines)
 
 
+def render_traffic_sweep(rows: Sequence["exp.TrafficRow"],
+                         chain: str = "firewall -> telemetry") -> str:
+    """Every registered traffic scenario at both simulation levels.
+
+    The fluid columns summarise the hybrid run; the packet columns the
+    chain execution over the same scenario's wire stream (drops are the
+    firewall's policers and blocklists doing their job on the DDoS and
+    heavy-hitter mixes).
+    """
+    lines = [
+        f"Traffic scenario sweep (fluid level + packet level vs {chain})",
+        _rule(100),
+        f"{'Scenario':<14}{'Flows':>8}{'Mean FCT (ms)':>15}{'p99 (ms)':>10}"
+        f"{'Goodput (Gbps)':>16}{'Escalated':>11}{'Pkts':>7}{'Drop%':>7}",
+    ]
+    for row in rows:
+        detail = ", ".join(f"{reason} {count}"
+                           for reason, count in row.escalations.items())
+        lines.append(
+            f"{row.scenario:<14}{row.flows:>8}{row.mean_fct_ms:>15.3f}"
+            f"{row.p99_fct_ms:>10.2f}{row.mean_goodput_gbps:>16.2f}"
+            f"{row.escalated_total:>11}{row.chain_packets:>7}"
+            f"{row.drop_fraction * 100:>6.1f}%"
+            + (f"  ({detail})" if detail else "")
+        )
+    total_flows = sum(row.flows for row in rows)
+    total_gbytes = sum(row.simulated_gbytes for row in rows)
+    lines.append(_rule(100))
+    lines.append(
+        f"{len(rows)} scenario(s), {total_flows} flows, "
+        f"{total_gbytes:.2f} GB simulated payload"
+    )
+    return "\n".join(lines)
+
+
 def render_chain_sweep(rows: Sequence["exp.ChainRow"],
                        spec: str = "firewall -> telemetry -> aggregate"
                        ) -> str:
@@ -294,6 +331,20 @@ def hybrid_to_csv(rows: List["exp.HybridRow"]) -> str:
         [(r.load, r.flows, r.mean_fct_ms, r.p99_fct_ms,
           r.mean_goodput_gbps, r.simulated_gbytes, r.sim_seconds,
           r.solves, r.escalated_total)
+         for r in rows],
+    )
+
+
+def traffic_to_csv(rows: List["exp.TrafficRow"]) -> str:
+    return to_csv(
+        ("scenario", "flows", "mean_fct_ms", "p99_fct_ms",
+         "mean_goodput_gbps", "simulated_gbytes", "sim_seconds",
+         "solves", "escalated", "chain_packets", "forwarded",
+         "dropped", "consumed"),
+        [(r.scenario, r.flows, r.mean_fct_ms, r.p99_fct_ms,
+          r.mean_goodput_gbps, r.simulated_gbytes, r.sim_seconds,
+          r.solves, r.escalated_total, r.chain_packets, r.forwarded,
+          r.dropped, r.consumed)
          for r in rows],
     )
 

@@ -43,6 +43,7 @@ __all__ = [
     "bench_flowsim",
     "bench_nf_chain",
     "bench_obs_overhead",
+    "bench_traffic",
     "bench_trainer_loop",
     "OBS_PROBE_NS_CEILING",
     "collect",
@@ -366,6 +367,30 @@ def bench_obs_overhead(calls: int = 1_000_000,
     }
 
 
+def bench_traffic(num_flows: int = 100_000, repeats: int = 3) -> float:
+    """Flow specs generated per CPU second by the traffic library.
+
+    Times :meth:`TrafficScenario.generate` on the ``websearch`` family
+    (empirical CDF sizes, Poisson arrivals — the cheapest draws, so
+    this is the generator's ceiling, not a workload average).  Guards
+    the 10^5–10^6-flow scale claim: a sweep's flow lists must stay a
+    negligible fraction of its fluid-solve budget.
+    """
+    from repro.sim import Environment
+    from repro.traffic import get_scenario
+
+    scenario = get_scenario("websearch")
+
+    def once() -> float:
+        env = Environment()
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        flows = scenario.generate(env, num_flows)
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return len(flows) / elapsed
+
+    return _best_of(once, repeats)
+
+
 def collect(quick: bool = False) -> Dict:
     """Measure everything and return the BENCH_kernel.json document."""
     scale = 4 if quick else 1
@@ -383,6 +408,8 @@ def collect(quick: bool = False) -> Dict:
                             repeats=2)
     nf_chain = bench_nf_chain(packets=5_000 if quick else 20_000,
                               repeats=2 if quick else 3)
+    traffic = bench_traffic(num_flows=20_000 if quick else 100_000,
+                            repeats=2 if quick else 3)
     obs_overhead = bench_obs_overhead(calls=250_000 if quick else 1_000_000,
                                       repeats=3 if quick else 5)
     doc = {
@@ -421,6 +448,9 @@ def collect(quick: bool = False) -> Dict:
         },
         "nf": {
             "chain_packets_per_s": round(nf_chain),
+        },
+        "traffic": {
+            "flows_generated_per_s": round(traffic),
         },
         "obs": {
             "null_probe_ns": round(obs_overhead["null_probe_ns"], 1),
@@ -474,6 +504,8 @@ def check(path: Path, quick: bool = True) -> int:
         checks.append(("flowsim", "simulated_bytes_per_cpu_s"))
     if "nf" in committed:
         checks.append(("nf", "chain_packets_per_s"))
+    if "traffic" in committed:
+        checks.append(("traffic", "flows_generated_per_s"))
     failures = []
     for section, key in checks:
         old = committed[section][key]

@@ -59,7 +59,12 @@ from repro.nf.cost import (
     TrioCostModel,
     default_models,
 )
-from repro.nf.exec import ChainRunResult, generate_trace, run_chain
+from repro.nf.exec import (
+    ChainRunResult,
+    generate_trace,
+    packet_view,
+    run_chain,
+)
 from repro.nf.placement import enumerate_placements, greedy_place
 
 __all__ = [
@@ -83,6 +88,7 @@ __all__ = [
     "enumerate_placements",
     "generate_trace",
     "greedy_place",
+    "packet_view",
     "parse_chain",
     "run_chain",
     "DDoSMitigator",

@@ -35,12 +35,19 @@ from repro.trioml.protocol import TRIO_ML_UDP_PORT
 __all__ = [
     "ChainRunResult",
     "generate_trace",
+    "packet_view",
     "run_chain",
 ]
 
 
-def _view(index: int, packet: Packet) -> PacketView:
-    """Parse one wire-format packet into the typed NF view."""
+def packet_view(index: int, packet: Packet) -> PacketView:
+    """Parse one wire-format packet into the typed NF view.
+
+    Public so other trace producers — e.g. the
+    :mod:`repro.traffic` packet adapter — share the exact parsing
+    (same ``flow_key`` codec, same payload-word extraction) that
+    :func:`generate_trace` uses.
+    """
     flow = flow_key(packet)
     __, __, __, payload = packet.parse_udp()
     word = int.from_bytes(payload[:4], "big") if len(payload) >= 4 else 0
@@ -114,7 +121,7 @@ def generate_trace(
                 dst_port=2000 + src_n % 16,
                 payload=bytes(16 + rng.randrange(4) * 32),
             )
-        views.append(_view(index, packet))
+        views.append(packet_view(index, packet))
     return tuple(views)
 
 

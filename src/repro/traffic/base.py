@@ -1,0 +1,116 @@
+"""Scenario interface for the datacenter traffic generator.
+
+A :class:`TrafficScenario` is a *workload description*: given an
+:class:`~repro.sim.Environment` and a flow budget it produces a
+:class:`~repro.flowsim.flow.FlowSpec` list, drawing every random choice
+from the environment's named stream ``traffic/<scenario-name>``.  The
+scenario knows nothing about which simulation level will consume the
+flows — the adapters in :mod:`repro.traffic.adapters` compile the same
+scenario into the fluid level or into wire-format packet streams for
+the NF-chain executor (the separation RouteNet-Gauss argues for,
+PAPERS.md: workload generation decoupled from the simulation backend).
+
+Concrete scenarios live in :mod:`repro.traffic.scenarios` and are
+looked up by name through :mod:`repro.traffic.registry`, mirroring the
+``repro.collectives`` / ``repro.nf`` registries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from random import Random
+from typing import List, Tuple
+
+from repro.flowsim.escalate import EscalationConfig
+from repro.flowsim.flow import FlowSpec
+from repro.flowsim.scenario import host_name
+from repro.sim import Environment
+
+__all__ = [
+    "FabricShape",
+    "TrafficScenario",
+]
+
+
+@dataclass(frozen=True)
+class FabricShape:
+    """The leaf/spine fabric a scenario's endpoints live on.
+
+    Mirrors the fabric half of
+    :class:`repro.flowsim.scenario.ScenarioConfig` (same defaults, same
+    ``h<leaf>-<index>`` naming) so a scenario's flow list drops straight
+    onto the fabric that module builds.
+    """
+
+    leaves: int = 4
+    hosts_per_leaf: int = 16
+    host_bandwidth_bps: float = 100e9
+    uplink_bandwidth_bps: float = 800e9
+    propagation_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.leaves < 1 or self.hosts_per_leaf < 1:
+            raise ValueError(
+                f"fabric needs >= 1 leaf and host: {self.leaves}, "
+                f"{self.hosts_per_leaf}"
+            )
+
+    @property
+    def num_hosts(self) -> int:
+        return self.leaves * self.hosts_per_leaf
+
+    @property
+    def aggregate_access_bps(self) -> float:
+        return self.num_hosts * self.host_bandwidth_bps
+
+    def host_names(self) -> List[str]:
+        return [host_name(leaf, index)
+                for leaf in range(self.leaves)
+                for index in range(self.hosts_per_leaf)]
+
+    def host_address(self, host_index: int) -> Tuple[int, int]:
+        """(leaf, index-within-leaf) of a flat host index."""
+        return divmod(host_index, self.hosts_per_leaf)
+
+
+class TrafficScenario(abc.ABC):
+    """One named workload family.
+
+    Subclasses set ``name`` and ``description``, and implement
+    :meth:`generate`.  Every random draw must come from
+    :meth:`rng` — one named stream per scenario, so a scenario's flow
+    list is a pure function of ``(scenario parameters, seed)`` and the
+    same whether it is generated in the main process or a ``--parallel``
+    worker.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, fabric: FabricShape = FabricShape()):
+        self.fabric = fabric
+
+    @property
+    def stream_key(self) -> str:
+        return f"traffic/{self.name}"
+
+    def rng(self, env: Environment) -> Random:
+        """The scenario's seed-tree stream in ``env``."""
+        return env.rng_stream(self.stream_key)
+
+    @abc.abstractmethod
+    def generate(self, env: Environment,
+                 num_flows: int) -> List[FlowSpec]:
+        """Produce exactly ``num_flows`` flow specs, start-time ordered."""
+
+    def escalation(self) -> EscalationConfig:
+        """Escalation thresholds for fluid runs of this scenario.
+
+        The default config already carries the microburst/DDoS classes;
+        scenarios with stragglers or unusual burst geometry override.
+        """
+        return EscalationConfig()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

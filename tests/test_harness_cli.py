@@ -28,7 +28,7 @@ class TestCLI:
         assert set(registry) == {
             "table1", "fig12", "fig13", "fig14", "fig15", "fig16",
             "analysis", "ablations", "generations", "loss",
-            "backends", "calibrate", "hybrid", "chains",
+            "backends", "calibrate", "hybrid", "chains", "traffic",
         }
 
     def test_fast_fig14_runs(self, capsys):
