@@ -125,15 +125,17 @@ def test_macro_packet_path_reports_throughput():
     assert stats["scheduled_events"] > stats["packets"]
 
 
-def test_flowsim_meets_100x_bytes_per_cpu_second_floor():
-    """The tentpole acceptance bar: the flow level must simulate at
-    least 100x more traffic bytes per CPU-second than the packet level.
+def test_flowsim_meets_bytes_per_cpu_second_floor():
+    """The hybrid acceptance bar: the flow level must simulate at least
+    ``FLOWSIM_SPEEDUP_FLOOR``x (400x) more traffic bytes per CPU-second
+    than the packet level.
 
-    Full sizing (10^4 flows) lands ~150-190x on the reference box; the
-    reduced sizing here keeps the test fast while staying far enough
-    above the floor that scheduler noise cannot trip it.  The packet
-    side reuses the macro data-plane bench so both sides share the
-    process_time/GC-paused methodology.
+    With the incremental path-class solver, full sizing (10^4 flows)
+    lands ~900-1000x on the reference box; the reduced sizing here
+    keeps the test fast while staying far enough above the floor that
+    scheduler noise cannot trip it.  The packet side reuses the macro
+    data-plane bench so both sides share the process_time/GC-paused
+    methodology.
     """
     packet = perfjson.bench_packet_path(blocks=40, repeats=2)
     flowsim = perfjson.bench_flowsim(num_flows=2_000, repeats=2)
@@ -148,6 +150,40 @@ def test_flowsim_meets_100x_bytes_per_cpu_second_floor():
     assert flowsim["escalated_flows"] > 0, (
         "the benchmark scenario must exercise the escalation boundary; "
         "an all-fluid run would overstate the speedup"
+    )
+
+
+#: The incremental path-class solver sustains ~3.5-4k flow
+#: arrival/departure events per second at a ~100-class live window
+#: (each event is a full incremental re-solve), vs well under 1k for a
+#: from-scratch per-flow rebuild at the same point.  1k is a generous
+#: floor that still trips immediately if the incremental path ever
+#: regresses to rebuilding `elastic`/`pinned` state per solve.
+MIN_SOLVER_FLOWS_PER_S = 1_000
+
+
+def test_incremental_solver_meets_churn_floor():
+    rate = _sustained(
+        lambda events, repeats: perfjson.bench_solver(
+            num_flows=events // 50, repeats=repeats
+        ),
+        MIN_SOLVER_FLOWS_PER_S,
+    )
+    assert rate >= MIN_SOLVER_FLOWS_PER_S, (
+        f"path-class solver sustained {rate:,.0f} flows/s of churn, "
+        f"below the {MIN_SOLVER_FLOWS_PER_S:,} floor"
+    )
+
+
+def test_flowsim_event_budget_holds():
+    """The dead-wake-up guard end to end: `bench_flowsim` itself raises
+    if the event heap grows past ~3.5 events/flow, so a pass here means
+    completion wake-ups are being reused/cancelled, not abandoned."""
+    stats = perfjson.bench_flowsim(num_flows=1_000, repeats=1)
+    assert stats["scheduled_events_per_flow"] <= 3.5
+    assert stats["wake_reused"] > 0, (
+        "no completion wake-up was ever reused; the single-live-wake "
+        "path is not engaged"
     )
 
 

@@ -55,7 +55,12 @@ from repro.flowsim.scenario import (
     generate_flows,
     run_scenario,
 )
-from repro.flowsim.solver import MIN_RATE_BPS, max_min_rates
+from repro.flowsim.solver import (
+    MIN_RATE_BPS,
+    PathClassSolver,
+    max_min_class_rates,
+    max_min_rates,
+)
 
 __all__ = [
     "ActiveFlow",
@@ -67,11 +72,13 @@ __all__ = [
     "FlowSpec",
     "FluidEngine",
     "MIN_RATE_BPS",
+    "PathClassSolver",
     "PacketRefResult",
     "ScenarioConfig",
     "ScenarioResult",
     "build_leaf_spine",
     "generate_flows",
+    "max_min_class_rates",
     "max_min_rates",
     "packet_fan_in",
     "packet_pair",

@@ -9,32 +9,51 @@ events:
 * a **re-solve** whenever the flow set changes (arrival or departure),
   coalesced per timestamp so an incast burst of N arrivals pays one
   solve, not N;
-* a **completion wake-up** at the projected earliest finish, guarded by
-  an epoch counter so a re-solve invalidates stale wake-ups for free.
+* a **completion wake-up** at the projected earliest finish.  One live
+  wake-up exists at a time: when a re-solve moves the projection
+  earlier the pending wake-up is cancelled and replaced, and when it
+  moves later the pending wake-up is reused (it fires early, sees the
+  newer projection, and re-aims without solving).
 
 Both run in the flow-level scheduling lane
 (:data:`repro.sim.FLOW_LEVEL_PRIORITY`): at any shared timestamp every
 packet-level event settles first, then the fluid level observes the
-result and re-allocates.  Rates come from max-min fair share
-(:mod:`repro.flowsim.solver`) over the directed link capacities of a
-:class:`repro.net.Topology`, derated by Ethernet/IPv4/UDP framing so
-fluid goodput and packet goodput are the same currency.
+result and re-allocates.
+
+Rate allocation is **two-level**.  Flows sharing one directed-link
+signature form a *path class*, and the incremental
+:class:`~repro.flowsim.solver.PathClassSolver` allocates per class —
+O(distinct paths) variables, not O(flows) — from per-link state kept
+alive across solves.  The engine mirrors that structure in its
+progress accounting: each class carries one cumulative served-bits
+curve and a heap of member completion targets, so a re-solve touches
+only the classes whose allocation actually changed; unchanged classes
+pay nothing — no drain sweep, no rate write-back, no dict rebuild.
+Rates come from max-min fair share over the directed link capacities
+of a :class:`repro.net.Topology`, derated by Ethernet/IPv4/UDP framing
+so fluid goodput and packet goodput are the same currency.
 
 Flows the :class:`~repro.flowsim.escalate.EscalationPolicy` marks
 contention-critical are *escalated*: their rate is pinned to a matched
 packet-level reference measurement instead of a fair share, and the
-solver treats that demand as inelastic.  Escalations are visible to
-:mod:`repro.obs` as counters, instants, and simulated-time spans, so a
-profile shows exactly where the packet level was entered and why.
+solver treats that demand as inelastic.  Escalation groups are pinned
+pseudo-classes: the group rate is a pure function of membership (see
+``escalate.py``), so it is recomputed only when membership changes and
+its per-link demand is maintained by deltas.  Escalations are visible
+to :mod:`repro.obs` as counters, instants, and simulated-time spans,
+so a profile shows exactly where the packet level was entered and why.
 
-Cost model: O(active flows x path length) per re-solve and ~2 events
-per flow total, independent of flow *size* — which is where the
-simulated-bytes-per-CPU-second advantage over the packet level comes
-from.
+Cost model: O(path classes + changed classes x members) per re-solve
+and ~2 events per flow total, independent of flow *size* — which is
+where the simulated-bytes-per-CPU-second advantage over the packet
+level comes from.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+from math import inf as _INF
+from time import process_time
 from typing import Dict, List, Optional, Tuple
 
 from repro.flowsim.escalate import EscalationPolicy
@@ -46,7 +65,7 @@ from repro.flowsim.flow import (
     FlowSpec,
     wire_efficiency,
 )
-from repro.flowsim.solver import MIN_RATE_BPS, max_min_rates
+from repro.flowsim.solver import PathClassSolver
 from repro.net.topology import Topology
 from repro.obs import bus as _obs
 from repro.sim import FLOW_LEVEL_PRIORITY, Environment
@@ -57,6 +76,38 @@ __all__ = ["FluidEngine"]
 #: wake-up fires at the exact projected instant, so the residual is pure
 #: float rounding — many orders of magnitude below one bit.
 _COMPLETION_EPS_BITS = 1.0
+
+
+class _PathClass:
+    """One solver variable's worth of engine state.
+
+    Elastic classes are keyed by their directed-link signature; pinned
+    (escalated) classes by their escalation-group key, with
+    ``links=None`` because members may take different paths while
+    sharing one packet-derived rate.
+
+    Progress is a single cumulative curve ``bits(t) = bits + rate_bps *
+    (t - t_base)`` — the bits served to *each* member since the class
+    was created.  A member arriving when the curve reads ``b`` finishes
+    when the curve reaches ``b + size_bits``; those targets live in a
+    min-heap, so the class's next completion is ``targets[0]``
+    regardless of member count.  ``version`` stamps entries the engine
+    pushes into its global finish heap: bumping it on any rate or
+    membership change invalidates stale projections lazily, with no
+    heap surgery.
+    """
+
+    __slots__ = ("links", "flows", "targets", "rate_bps", "bits",
+                 "t_base", "version")
+
+    def __init__(self, links: Optional[Tuple[int, ...]], now: float):
+        self.links = links
+        self.flows: Dict[int, ActiveFlow] = {}
+        self.targets: List[Tuple[float, int]] = []
+        self.rate_bps = 0.0
+        self.bits = 0.0
+        self.t_base = now
+        self.version = 0
 
 
 class FluidEngine:
@@ -83,14 +134,40 @@ class FluidEngine:
         self.records: List[FlowRecord] = []
         self._service_counts: Dict[str, int] = {}
 
-        self._last_advance_s = env.now
-        self._epoch = 0
+        # Two-level allocation state, alive across solves.
+        self._solver = PathClassSolver(self._capacity_bps)
+        #: link signature -> elastic class.
+        self._classes: Dict[Tuple[int, ...], _PathClass] = {}
+        #: escalation-group key -> pinned class.  Pinned per-link demand
+        #: lives inside the solver, maintained by pin() deltas.
+        self._groups: Dict[Tuple[str, str], _PathClass] = {}
+        #: insertion-ordered sets (dicts) of classes whose membership
+        #: changed since the last solve; cleared by the solve.
+        self._dirty_classes: Dict[Tuple[int, ...], None] = {}
+        self._dirty_groups: Dict[Tuple[str, str], None] = {}
+        #: global min-heap of (finish_s, class version at push, seq,
+        #: class); entries whose version lags the class's are stale.
+        self._finish_heap: List[Tuple[float, int, int, _PathClass]] = []
+        self._finish_seq = 0
+        self._next_finish_s = _INF
+
         self._solve_pending = False
+        #: the single live completion wake-up, if any.
+        self._wake_handle = None
+        self._wake_at = _INF
 
         # Aggregate statistics (kept unconditionally; cheap).
         self.solves = 0
         self.completed_payload_bytes = 0.0
         self.escalated_completions = 0
+        #: wake-up bookkeeping: scheduled = events actually pushed,
+        #: cancelled = pending wakes invalidated by an earlier
+        #: projection, reused = re-solves that kept the pending wake,
+        #: stale = wakes that fired early and re-aimed without solving.
+        self.wake_scheduled = 0
+        self.wake_cancelled = 0
+        self.wake_reused = 0
+        self.wake_stale = 0
 
     # -- topology resolution --------------------------------------------
 
@@ -145,6 +222,11 @@ class FluidEngine:
             return 100e9
         return narrowest / self._efficiency
 
+    @property
+    def path_classes(self) -> int:
+        """Live solver variables: elastic path classes + pinned groups."""
+        return len(self._classes) + len(self._groups)
+
     # -- flow lifecycle --------------------------------------------------
 
     def start_flow(self, spec: FlowSpec) -> None:
@@ -152,47 +234,110 @@ class FluidEngine:
         if spec.flow_id in self.active:
             raise ValueError(f"duplicate flow id: {spec.flow_id}")
         keys, latency = self._resolve_path(spec.src, spec.dst)
+        size_bits = spec.size_bytes * 8.0
         flow = ActiveFlow(
             spec=spec,
             links=keys,
-            remaining_bits=spec.size_bytes * 8.0,
+            remaining_bits=size_bits,
             latency_s=latency,
         )
         self.active[spec.flow_id] = flow
         self._service_counts[spec.service] = (
             self._service_counts.get(spec.service, 0) + 1
         )
-        src_host = self.topology.hosts.get(spec.src)
-        dst_host = self.topology.hosts.get(spec.dst)
+        hosts = self.topology.hosts
+        src_host = hosts.get(spec.src)
+        dst_host = hosts.get(spec.dst)
         if src_host is not None:
             src_host.fluid_open(spec.flow_id, "tx")
+            flow.rate_cells.append(src_host.fluid_tx_flows)
         if dst_host is not None:
             dst_host.fluid_open(spec.flow_id, "rx")
+            flow.rate_cells.append(dst_host.fluid_rx_flows)
+        dir_links = self._dir_links
         for key in keys:
-            link, tx_port = self._dir_links[key]
+            link, tx_port = dir_links[key]
             link.fluid_attach(tx_port, spec.flow_id)
+            flow.rate_cells.append(link.fluid_flows[tx_port])
 
+        now = self.env.now
         reason = self.policy.classify(spec, self)
         if reason is not None:
             flow.escalated = reason
-            flow.group = self.policy.group_key(spec, reason)
-            flow.meta["escalated_s"] = self.env.now
-            self.policy.record(spec, reason, self.env.now)
+            group = self.policy.group_key(spec, reason)
+            flow.group = group
+            flow.meta["escalated_s"] = now
+            self.policy.record(spec, reason, now)
+            cls = self._groups.get(group)
+            if cls is None:
+                cls = _PathClass(None, now)
+                self._groups[group] = cls
+            # The member's pinned demand and rate write-back land in
+            # the dirty-group refresh at the head of the next solve
+            # (deltas keyed off rate_bps == 0.0).
+            self._dirty_groups[group] = None
+        else:
+            cls = self._classes.get(keys)
+            if cls is None:
+                cls = _PathClass(keys, now)
+                self._classes[keys] = cls
+            self._solver.add(keys)
+            self._dirty_classes[keys] = None
+            # Adopt the pre-solve class rate so link/host telemetry
+            # stays coherent even if the upcoming solve leaves the
+            # allocation numerically unchanged.
+            rate = cls.rate_bps
+            if rate > 0.0:
+                flow.rate_bps = rate
+                self._write_flow_rate(flow, rate)
+        target = cls.bits + cls.rate_bps * (now - cls.t_base) + size_bits
+        heappush(cls.targets, (target, spec.flow_id))
+        cls.flows[spec.flow_id] = flow
         self._schedule_solve()
 
     def _finish_flow(self, flow: ActiveFlow, now: float) -> None:
+        """Retire ``flow``; its completion target is already popped."""
         spec = flow.spec
-        del self.active[spec.flow_id]
+        fid = spec.flow_id
+        del self.active[fid]
         self._service_counts[spec.service] -= 1
-        src_host = self.topology.hosts.get(spec.src)
-        dst_host = self.topology.hosts.get(spec.dst)
+        hosts = self.topology.hosts
+        src_host = hosts.get(spec.src)
+        dst_host = hosts.get(spec.dst)
         if src_host is not None:
-            src_host.fluid_close(spec.flow_id, "tx", spec.size_bytes)
+            src_host.fluid_close(fid, "tx", spec.size_bytes)
         if dst_host is not None:
-            dst_host.fluid_close(spec.flow_id, "rx", spec.size_bytes)
+            dst_host.fluid_close(fid, "rx", spec.size_bytes)
+        dir_links = self._dir_links
         for key in flow.links:
-            link, tx_port = self._dir_links[key]
-            link.fluid_detach(tx_port, spec.flow_id)
+            link, tx_port = dir_links[key]
+            link.fluid_detach(tx_port, fid)
+
+        if flow.escalated is None:
+            sig = flow.links
+            self._solver.remove(sig)
+            cls = self._classes[sig]
+            del cls.flows[fid]
+            if cls.flows:
+                self._dirty_classes[sig] = None
+            else:
+                del self._classes[sig]
+                self._dirty_classes.pop(sig, None)
+        else:
+            gkey = flow.group
+            cls = self._groups[gkey]
+            del cls.flows[fid]
+            rate = flow.rate_bps
+            if rate != 0.0:
+                pin = self._solver.pin
+                for key in flow.links:
+                    pin(key, -rate)
+            if cls.flows:
+                self._dirty_groups[gkey] = None
+            else:
+                del self._groups[gkey]
+                self._dirty_groups.pop(gkey, None)
+        flow.remaining_bits = 0.0
 
         fct = now - spec.start_s + flow.latency_s
         record = FlowRecord(
@@ -214,9 +359,98 @@ class FluidEngine:
                     f"escalated:{flow.escalated}",
                     flow.meta["escalated_s"], now,
                     track="flowsim/escalations",
-                    flow=spec.flow_id, reason=flow.escalated,
+                    flow=fid, reason=flow.escalated,
                     dst=spec.dst,
                 )
+
+    # -- per-flow write-back --------------------------------------------
+
+    def _write_flow_rate(self, flow: ActiveFlow, rate: float) -> None:
+        """Push ``rate`` into the flow's link/endpoint telemetry cells.
+
+        The cells were resolved at admission (see ``start_flow``), so
+        this is one dict store per cell — equivalent to calling
+        ``fluid_set_rate`` on every hop and endpoint, without the
+        per-call topology lookups.
+        """
+        fid = flow.spec.flow_id
+        for cell in flow.rate_cells:
+            cell[fid] = rate
+
+    # -- class curve maintenance ----------------------------------------
+
+    def _touch(self, cls: _PathClass, now: float) -> None:
+        """Rebase the class curve and refresh its finish projection.
+
+        Called whenever membership changed but the rate did not: a new
+        member may carry the smallest completion target, so the
+        projection must be recomputed even at an unchanged rate.
+        """
+        bits = cls.bits + cls.rate_bps * (now - cls.t_base)
+        cls.bits = bits
+        cls.t_base = now
+        cls.version += 1
+        if cls.targets and cls.rate_bps > 0.0:
+            finish = now + (cls.targets[0][0] - bits) / cls.rate_bps
+            self._finish_seq = seq = self._finish_seq + 1
+            heappush(self._finish_heap, (finish, cls.version, seq, cls))
+
+    def _set_class_rate(self, cls: _PathClass, rate: float,
+                        now: float) -> None:
+        """Rebase the curve at a new rate and write back to members."""
+        bits = cls.bits + cls.rate_bps * (now - cls.t_base)
+        cls.bits = bits
+        cls.t_base = now
+        cls.rate_bps = rate
+        cls.version += 1
+        for flow in cls.flows.values():
+            flow.rate_bps = rate
+            # _write_flow_rate, inlined: this is the hottest write-back
+            # loop in the engine (once per member of every class whose
+            # rate moved, every solve).
+            fid = flow.spec.flow_id
+            for cell in flow.rate_cells:
+                cell[fid] = rate
+        if cls.targets and rate > 0.0:
+            finish = now + (cls.targets[0][0] - bits) / rate
+            self._finish_seq = seq = self._finish_seq + 1
+            heappush(self._finish_heap, (finish, cls.version, seq, cls))
+
+    def _refresh_group(self, gkey: Tuple[str, str], now: float) -> None:
+        """Recompute a pinned group's packet-derived rate after a
+        membership change, applying per-link demand deltas.
+
+        The policy's group rate is a pure function of membership (see
+        ``escalate.py``), so recomputing only on membership change is
+        result-identical to recomputing every solve.
+        """
+        cls = self._groups.get(gkey)
+        if cls is None or not cls.flows:
+            return
+        members = list(cls.flows.values())
+        rates = self.policy.pinned_rates(gkey, members, self)
+        # Uniform per group by the policy contract; members may still
+        # take different paths, so demand deltas apply per flow.
+        rate = rates[members[0].spec.flow_id]
+        pin = self._solver.pin
+        for flow in members:
+            old = flow.rate_bps
+            if old == rate:
+                continue
+            delta = rate - old
+            for key in flow.links:
+                pin(key, delta)
+            flow.rate_bps = rate
+            self._write_flow_rate(flow, rate)
+        bits = cls.bits + cls.rate_bps * (now - cls.t_base)
+        cls.bits = bits
+        cls.t_base = now
+        cls.rate_bps = rate
+        cls.version += 1
+        if cls.targets and rate > 0.0:
+            finish = now + (cls.targets[0][0] - bits) / rate
+            self._finish_seq = seq = self._finish_seq + 1
+            heappush(self._finish_heap, (finish, cls.version, seq, cls))
 
     # -- the event-driven solve loop ------------------------------------
 
@@ -228,96 +462,128 @@ class FluidEngine:
         self.env.call_at(self.env.now, self._solve_cycle,
                          priority=FLOW_LEVEL_PRIORITY)
 
-    def _wake(self, epoch: int) -> None:
-        """Projected-completion wake-up; stale epochs are no-ops."""
-        if epoch != self._epoch:
-            return
-        self._solve_cycle()
-
     def _solve_cycle(self) -> None:
         self._solve_pending = False
         now = self.env.now
-        self._advance(now)
         self._complete_due(now)
         self._resolve(now)
 
-    def _advance(self, now: float) -> None:
-        """Drain every active flow at its current rate up to ``now``."""
-        dt = now - self._last_advance_s
-        self._last_advance_s = now
-        if dt <= 0.0:
-            return
-        for flow in self.active.values():
-            if flow.rate_bps > 0.0:
-                flow.remaining_bits -= flow.rate_bps * dt
-
     def _complete_due(self, now: float) -> None:
-        due = [flow for flow in self.active.values()
-               if flow.remaining_bits <= _COMPLETION_EPS_BITS]
-        for flow in due:
-            self._finish_flow(flow, now)
+        """Finish every flow whose class curve has reached its target."""
+        heap = self._finish_heap
+        active = self.active
+        while heap:
+            finish_s, version, _seq, cls = heap[0]
+            if finish_s > now:
+                break
+            heappop(heap)
+            if version != cls.version:
+                continue
+            cls.version += 1
+            bits_now = cls.bits + cls.rate_bps * (now - cls.t_base)
+            targets = cls.targets
+            while targets and targets[0][0] - bits_now <= _COMPLETION_EPS_BITS:
+                _target, fid = heappop(targets)
+                self._finish_flow(active[fid], now)
+            # The class (if it survives) was dirty-marked by the
+            # departures; the solve that follows re-projects it.
 
     def _resolve(self, now: float) -> None:
-        """Re-allocate rates and schedule the next completion wake-up."""
-        self._epoch += 1
+        """Re-allocate rates and aim the next completion wake-up."""
         self.solves += 1
+        obs_on = _obs.enabled()
+        if obs_on:
+            t0 = process_time()  # detlint: ok(obs-only solve-duration metric)
         if not self.active:
+            self._dirty_classes.clear()
+            self._dirty_groups.clear()
+            self._next_finish_s = _INF
             return
 
-        # Pinned (escalated) flows first: group them, ask the policy for
-        # packet-derived rates, and accumulate their demand per link.
-        groups: Dict[Tuple[str, str], List[ActiveFlow]] = {}
-        elastic: Dict[int, Tuple[int, ...]] = {}
-        for flow_id, flow in self.active.items():
-            if flow.escalated is not None:
-                groups.setdefault(flow.group, []).append(flow)
-            else:
-                elastic[flow_id] = flow.links
-        pinned_bps: Dict[int, float] = {}
-        for group, members in groups.items():
-            rates = self.policy.pinned_rates(group, members, self)
-            for flow in members:
-                rate = rates[flow.spec.flow_id]
-                flow.rate_bps = rate
-                for key in flow.links:
-                    pinned_bps[key] = pinned_bps.get(key, 0.0) + rate
+        # Pinned groups first: membership changes recompute the
+        # packet-derived rate and shift per-link demand by deltas.
+        dirty_groups = self._dirty_groups
+        if dirty_groups:
+            for gkey in dirty_groups:
+                self._refresh_group(gkey, now)
+            dirty_groups.clear()
 
-        if elastic:
-            solved = max_min_rates(elastic, self._capacity_bps, pinned_bps)
-            for flow_id, rate in solved.items():
-                self.active[flow_id].rate_bps = rate
+        # Elastic classes: one solver variable per distinct path.  The
+        # solver reports which classes moved since the previous solve,
+        # so unchanged classes cost nothing here — no per-class scan.
+        rate_changes = 0
+        classes = self._classes
+        if classes:
+            changed = self._solver.resolve()
+            for sig, rate in changed.items():
+                self._set_class_rate(classes[sig], rate, now)
+            rate_changes = len(changed)
+            dirty = self._dirty_classes
+            if dirty:
+                # Dirty but rate-unchanged classes (new member, new
+                # completion target) still need their projection
+                # re-aimed; dead sigs may linger in the dirty set.
+                for sig in dirty:
+                    if sig not in changed:
+                        cls = classes.get(sig)
+                        if cls is not None:
+                            self._touch(cls, now)
+        self._dirty_classes.clear()
 
-        # Write rates back through the endpoint/link hooks and find the
-        # earliest projected completion.
-        next_finish = None
-        hosts = self.topology.hosts
-        dir_links = self._dir_links
-        for flow in self.active.values():
-            spec = flow.spec
-            rate = flow.rate_bps
-            if rate != flow.written_bps:
-                flow.written_bps = rate
-                for key in flow.links:
-                    link, tx_port = dir_links[key]
-                    link.fluid_set_rate(tx_port, spec.flow_id, rate)
-                src_host = hosts.get(spec.src)
-                if src_host is not None:
-                    src_host.fluid_set_rate(spec.flow_id, "tx", rate)
-                dst_host = hosts.get(spec.dst)
-                if dst_host is not None:
-                    dst_host.fluid_set_rate(spec.flow_id, "rx", rate)
-            finish = flow.remaining_bits / rate if rate > 0.0 else None
-            if finish is not None and (next_finish is None
-                                       or finish < next_finish):
-                next_finish = finish
+        # Earliest valid projection across all classes.
+        heap = self._finish_heap
+        while heap:
+            _finish, version, _seq, cls = heap[0]
+            if version == cls.version:
+                break
+            heappop(heap)
+        next_finish = heap[0][0] if heap else _INF
+        self._next_finish_s = next_finish
 
-        if _obs.enabled():
+        if obs_on:
+            solve_ms = (process_time() - t0) * 1e3  # detlint: ok(obs-only solve-duration metric)
+            _obs.observe("flowsim.solve_ms", solve_ms)
+            _obs.gauge("flowsim.path_classes", float(self.path_classes))
+            _obs.probe("flowsim.class_rate_changes", float(rate_changes))
             _obs.probe("flowsim.solves")
             _obs.sample("flowsim/active_flows", now, float(len(self.active)))
 
-        if next_finish is not None:
-            self.env.call_at(now + next_finish, self._wake, self._epoch,
-                             priority=FLOW_LEVEL_PRIORITY)
+        if next_finish is not _INF:
+            self._set_wake(next_finish)
+
+    # -- the single live wake-up ----------------------------------------
+
+    def _set_wake(self, when: float) -> None:
+        """Aim the completion wake-up at ``when``, reusing or cancelling
+        the pending one instead of piling stale events into the heap."""
+        handle = self._wake_handle
+        if handle is not None:
+            if self._wake_at <= when:
+                # Fires at or before the new projection; on firing it
+                # re-aims from _next_finish_s, so no new event needed.
+                self.wake_reused += 1
+                return
+            handle.cancel()
+            self.wake_cancelled += 1
+        self._wake_handle = self.env.call_at(
+            when, self._on_wake, priority=FLOW_LEVEL_PRIORITY)
+        self._wake_at = when
+        self.wake_scheduled += 1
+
+    def _on_wake(self) -> None:
+        self._wake_handle = None
+        self._wake_at = _INF
+        target = self._next_finish_s
+        if target is _INF or not self.active:
+            return
+        if self.env.now < target:
+            # The projection moved later since this wake-up was
+            # scheduled; re-aim without paying a solve.
+            self.wake_stale += 1
+            self._set_wake(target)
+            return
+        if not self._solve_pending:
+            self._solve_cycle()
 
     # -- aggregate statistics -------------------------------------------
 

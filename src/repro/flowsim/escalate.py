@@ -162,6 +162,17 @@ class EscalationPolicy:
 
         Recomputed every re-solve: the reference lookup is keyed by the
         group's *current* degree bucket, so rates track membership.
+
+        Uniform-rate contract: every member of a group gets the *same*
+        rate (the dict fans one scalar out per flow id).  The
+        incremental engine relies on this — a pinned flow's demand
+        enters the path-class solver as per-link capacity deltas
+        (:meth:`PathClassSolver.pin`), and a group rate change is
+        applied as ``new - old`` per member without re-deriving any
+        per-flow split.  A future policy that differentiates rates
+        within a group must still return one entry per member; only
+        the per-member delta bookkeeping in ``FluidEngine`` consumes
+        the values.
         """
         reason = group[0]
         config = self.config

@@ -79,21 +79,32 @@ class FlowRecord:
 
 @dataclass
 class ActiveFlow:
-    """Mutable per-flow engine state (internal to the engine)."""
+    """Mutable per-flow engine state (internal to the engine).
+
+    Progress accounting lives on the flow's *path class*, not here: the
+    engine tracks one cumulative served-bits curve per class and a
+    per-class heap of member completion targets, so per-flow state is
+    written only on admission, on a class rate change, and on
+    completion.  ``remaining_bits`` therefore holds the flow's initial
+    size until it finishes (the class curve is authoritative), and the
+    rate last pushed through the link/host hooks is ``rate_bps`` itself
+    — write-backs are skipped per class, not per flow.
+    """
 
     spec: FlowSpec
     #: Directed-link keys (see the engine) the flow occupies, in path
-    #: order.
+    #: order.  Doubles as the flow's path-class signature.
     links: Tuple[int, ...]
     remaining_bits: float
     #: Fixed latency added to the recorded FCT: propagation plus one
     #: MTU store-and-forward serialisation per hop.
     latency_s: float
     rate_bps: float = 0.0
-    #: The rate last written through the link/host hooks; lets the
-    #: engine skip write-backs for flows whose allocation is unchanged
-    #: by a re-solve (the common case away from the changed bottleneck).
-    written_bps: float = -1.0
+    #: The telemetry dicts (per-direction link occupancy, endpoint
+    #: tx/rx tables) this flow's solved rate is written into, resolved
+    #: once at admission so a rate write-back is one dict store per
+    #: cell instead of method calls through the topology.
+    rate_cells: list = field(default_factory=list)
     #: Escalation state: reason string, or None while at flow level.
     escalated: Optional[str] = None
     #: Escalation group key (e.g. the incast destination) used to

@@ -96,6 +96,14 @@ class ScenarioResult:
     #: Payload bytes carried to completion across all flows.
     simulated_payload_bytes: float
     solves: int
+    #: Events actually pushed onto the simulator heap.  The engine
+    #: keeps a single live completion wake-up (reusing or cancelling
+    #: the pending one instead of abandoning epoch-stale events on the
+    #: heap), so this stays near-linear in flows; the flowsim bench
+    #: asserts the bound.
+    scheduled_events: int = 0
+    #: Wake-up accounting: scheduled / cancelled / reused / stale.
+    wake: Dict[str, int] = field(default_factory=dict)
 
 
 def host_name(leaf: int, index: int) -> str:
@@ -245,4 +253,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         sim_seconds=env.now,
         simulated_payload_bytes=engine.completed_payload_bytes,
         solves=engine.solves,
+        scheduled_events=env.scheduled_events,
+        wake={
+            "scheduled": engine.wake_scheduled,
+            "cancelled": engine.wake_cancelled,
+            "reused": engine.wake_reused,
+            "stale": engine.wake_stale,
+        },
     )

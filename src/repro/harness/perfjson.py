@@ -41,8 +41,10 @@ __all__ = [
     "bench_packet_path",
     "bench_figure_sweep",
     "bench_flowsim",
+    "bench_flowsim_scale",
     "bench_nf_chain",
     "bench_obs_overhead",
+    "bench_solver",
     "bench_traffic",
     "bench_trainer_loop",
     "OBS_PROBE_NS_CEILING",
@@ -69,8 +71,12 @@ OBS_PROBE_NS_CEILING = 2000.0
 #: bytes per CPU second through :func:`bench_flowsim` must be at least
 #: this multiple of the packet-level macro path's.  This is the
 #: headline claim of the two-level hybrid simulation, so ``--check``
-#: enforces it as an absolute floor, not a drift ratio.
-FLOWSIM_SPEEDUP_FLOOR = 100.0
+#: enforces it as an absolute floor, not a drift ratio.  The
+#: incremental path-class solver lands ~900-1000x on the reference box
+#: (up from ~150-190x with the from-scratch per-flow solver); 400x
+#: keeps >2x headroom while still failing fast if rate allocation ever
+#: falls back to a per-flow rebuild.
+FLOWSIM_SPEEDUP_FLOOR = 400.0
 
 #: Seed-tree numbers, re-measured from the git seed tree (commit
 #: ``8a6e343``, extracted via ``git archive``) on this box with the
@@ -248,9 +254,13 @@ def bench_flowsim(num_flows: int = 10_000,
     sim_seconds = 0.0
     flows = 0
     escalated = 0
+    events = 0
+    wake_cancelled = 0
+    wake_reused = 0
 
     def once() -> float:
         nonlocal payload_bytes, sim_seconds, flows, escalated
+        nonlocal events, wake_cancelled, wake_reused
         config = ScenarioConfig(num_flows=num_flows)
         start = time.process_time()  # detlint: ok(benchmark harness)
         result = run_scenario(config)
@@ -259,6 +269,19 @@ def bench_flowsim(num_flows: int = 10_000,
         sim_seconds = result.sim_seconds
         flows = int(result.summary["flows"])
         escalated = sum(result.escalations.values())
+        events = result.scheduled_events
+        wake_cancelled = result.wake["cancelled"]
+        wake_reused = result.wake["reused"]
+        # Dead-wake-up guard: the engine keeps ONE live completion
+        # wake-up, reusing or cancelling the pending one on every
+        # re-solve.  The canonical scenario schedules ~3.0 events per
+        # flow; abandoning a stale wake-up per re-solve (the old
+        # behaviour) pushes it past 3.9, so this bound trips on a
+        # regression while leaving ~15% headroom.
+        if events > 3.5 * flows + 256:
+            raise RuntimeError(
+                f"flowsim scheduled {events} events for {flows} flows; "
+                "dead wake-ups are leaking onto the heap")
         return 1.0 / elapsed
 
     per_s = _best_of(once, repeats)
@@ -270,6 +293,114 @@ def bench_flowsim(num_flows: int = 10_000,
         "sim_seconds_per_cpu_s": sim_seconds * per_s,
         "simulated_gbytes": payload_bytes / 1e9,
         "simulated_bytes_per_cpu_s": payload_bytes * per_s,
+        "scheduled_events": events,
+        "scheduled_events_per_flow": events / flows if flows else 0.0,
+        "wake_cancelled": wake_cancelled,
+        "wake_reused": wake_reused,
+    }
+
+
+def bench_solver(num_flows: int = 10_000, window: int = 96,
+                 repeats: int = 3) -> float:
+    """Flow arrivals/departures per CPU second through the incremental
+    path-class solver alone — no engine, no event loop.
+
+    Replays a sliding window of ``window`` concurrent flows over a
+    synthetic leaf/spine class structure (per-host access links plus
+    per-leaf uplinks, all directed), re-solving after every add and
+    every remove exactly as the engine does.  The live class count
+    (~``window``) matches the canonical scenario's steady state, so
+    this isolates the per-event allocation cost the hybrid level pays:
+    an accidental from-scratch rebuild in the incremental path shows up
+    here as an order-of-magnitude drop, with no scenario noise on top.
+    """
+    import random
+
+    from repro.flowsim.solver import PathClassSolver
+
+    leaves, hosts_per_leaf = 4, 12
+    nhosts = leaves * hosts_per_leaf
+
+    def path(src: int, dst: int):
+        src_leaf, dst_leaf = src // hosts_per_leaf, dst // hosts_per_leaf
+        up, down = 2 * src, 2 * dst + 1
+        if src_leaf == dst_leaf:
+            return (up, down)
+        return (up, 10_000 + 2 * src_leaf, 10_001 + 2 * dst_leaf, down)
+
+    capacity = {}
+    for host in range(nhosts):
+        capacity[2 * host] = capacity[2 * host + 1] = 100e9
+    for leaf in range(leaves):
+        capacity[10_000 + 2 * leaf] = capacity[10_001 + 2 * leaf] = 400e9
+
+    # Pre-draw the flow paths so the timed loop is solver-only.
+    rng = random.Random(0)
+    sigs = []
+    for _ in range(num_flows):
+        src = rng.randrange(nhosts)
+        dst = rng.randrange(nhosts - 1)
+        if dst >= src:
+            dst += 1
+        sigs.append(path(src, dst))
+
+    def once() -> float:
+        solver = PathClassSolver(capacity)
+        add, remove, resolve = solver.add, solver.remove, solver.resolve
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        for index, sig in enumerate(sigs):
+            add(sig)
+            resolve()
+            expired = index - window
+            if expired >= 0:
+                remove(sigs[expired])
+                resolve()
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+        return num_flows / elapsed
+
+    return _best_of(once, repeats)
+
+
+def bench_flowsim_scale(num_flows: int = 1_000_000) -> Dict[str, float]:
+    """One million-flow cache-scenario run through the incremental path.
+
+    A single timed run (no best-of — the run is minutes long) of the
+    ``cache`` traffic scenario through :func:`repro.traffic.run_fluid`,
+    GC paused, ``process_time``-clocked.  This is the scale point the
+    path-class solver makes tractable at all: the pre-refactor per-flow
+    rebuild extrapolates past 2,000 CPU-s here, and super-linearly so,
+    because the cache workload's heavy-tailed sizes keep long-lived
+    flows alive — the live set grows roughly with the square root of
+    run length (avg ~26 live classes at 1e5 flows, ~48 at 3e5), so
+    every per-flow term in the old solver compounded.  The incremental
+    level pays O(live classes) per solve, which is what keeps the
+    measured number in the low hundreds of CPU-seconds instead.
+
+    Opt-in via ``--scale``; never part of ``--check`` (too slow for
+    CI), so the committed figure is a recorded observation, not a gate.
+    """
+    from repro.traffic import get_scenario, run_fluid
+
+    scenario = get_scenario("cache")
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.process_time()  # detlint: ok(benchmark harness)
+        result = run_fluid(scenario, num_flows)
+        elapsed = time.process_time() - start  # detlint: ok(benchmark)
+    finally:
+        if enabled:
+            gc.enable()
+    return {
+        "num_flows": int(result.summary["flows"]),
+        "cpu_s": elapsed,
+        "flows_per_cpu_s": num_flows / elapsed,
+        "sim_seconds": result.sim_seconds,
+        "simulated_gbytes": result.simulated_payload_bytes / 1e9,
+        "simulated_bytes_per_cpu_s": (
+            result.simulated_payload_bytes / elapsed
+        ),
+        "solves": result.solves,
     }
 
 
@@ -391,8 +522,12 @@ def bench_traffic(num_flows: int = 100_000, repeats: int = 3) -> float:
     return _best_of(once, repeats)
 
 
-def collect(quick: bool = False) -> Dict:
-    """Measure everything and return the BENCH_kernel.json document."""
+def collect(quick: bool = False, scale: bool = False) -> Dict:
+    """Measure everything and return the BENCH_kernel.json document.
+
+    ``scale=True`` additionally runs the (minutes-long) million-flow
+    cache-scenario point and records it under ``"flowsim_scale"``.
+    """
     scale = 4 if quick else 1
     delay = bench_delay_path(events=200_000 // scale,
                              repeats=3 if quick else 5)
@@ -406,6 +541,8 @@ def collect(quick: bool = False) -> Dict:
                                repeats=2 if quick else 3)
     flowsim = bench_flowsim(num_flows=1_000 if quick else 10_000,
                             repeats=2)
+    solver = bench_solver(num_flows=2_000 if quick else 10_000,
+                          repeats=2 if quick else 3)
     nf_chain = bench_nf_chain(packets=5_000 if quick else 20_000,
                               repeats=2 if quick else 3)
     traffic = bench_traffic(num_flows=20_000 if quick else 100_000,
@@ -442,6 +579,11 @@ def collect(quick: bool = False) -> Dict:
             "simulated_bytes_per_cpu_s": round(
                 flowsim["simulated_bytes_per_cpu_s"]
             ),
+            "scheduled_events": flowsim["scheduled_events"],
+            "scheduled_events_per_flow": round(
+                flowsim["scheduled_events_per_flow"], 2
+            ),
+            "solver_flows_per_s": round(solver),
         },
         "trainer": {
             "iterations_per_s": round(trainer),
@@ -482,6 +624,20 @@ def collect(quick: bool = False) -> Dict:
         doc["speedup"]["fig15_sweep"] = round(
             SEED_BASELINE["fig15_cpu_s"] / fig15["cpu_s"], 2
         )
+    if scale:
+        point = bench_flowsim_scale()
+        doc["flowsim_scale"] = {
+            "scenario": "cache",
+            "num_flows": point["num_flows"],
+            "cpu_s": round(point["cpu_s"], 1),
+            "flows_per_cpu_s": round(point["flows_per_cpu_s"]),
+            "sim_seconds": round(point["sim_seconds"], 4),
+            "simulated_gbytes": round(point["simulated_gbytes"], 2),
+            "simulated_bytes_per_cpu_s": round(
+                point["simulated_bytes_per_cpu_s"]
+            ),
+            "solves": point["solves"],
+        }
     return doc
 
 
@@ -502,6 +658,8 @@ def check(path: Path, quick: bool = True) -> int:
         checks.append(("macro", "sim_seconds_per_cpu_s"))
     if "flowsim" in committed:
         checks.append(("flowsim", "simulated_bytes_per_cpu_s"))
+    if "solver_flows_per_s" in committed.get("flowsim", {}):
+        checks.append(("flowsim", "solver_flows_per_s"))
     if "nf" in committed:
         checks.append(("nf", "chain_packets_per_s"))
     if "traffic" in committed:
@@ -562,6 +720,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads and fewer repeats "
                              "(CI smoke sizing)")
+    parser.add_argument("--scale", action="store_true",
+                        help="also measure the million-flow cache "
+                             "scenario (minutes; recorded, never "
+                             "checked)")
     args = parser.parse_args(argv)
 
     if args.check:
@@ -572,7 +734,7 @@ def main(argv: Optional[list] = None) -> int:
             return 2
         return check(args.output, quick=True)
 
-    doc = collect(quick=args.quick)
+    doc = collect(quick=args.quick, scale=args.scale)
     args.output.write_text(json.dumps(doc, indent=2) + "\n")
     print(json.dumps(doc, indent=2))
     print(f"\nwrote {args.output}", file=sys.stderr)

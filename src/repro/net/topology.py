@@ -40,6 +40,9 @@ class Topology:
         self.links: List[Link] = []
         #: port name -> owning node name, for flow-path resolution.
         self._port_owner: Dict[str, str] = {}
+        #: Memoised node adjacency for :meth:`find_path`; rebuilt after
+        #: any link or port-ownership change.
+        self._adjacency: Optional[Dict[str, List[Tuple[str, Hop]]]] = None
 
     def add_host(self, host: Host) -> Host:
         """Register a host by its name (and its NIC port for routing)."""
@@ -47,6 +50,7 @@ class Topology:
             raise ValueError(f"duplicate host name: {host.name!r}")
         self.hosts[host.name] = host
         self._port_owner[host.nic.port.name] = host.name
+        self._adjacency = None
         return host
 
     def add_device(self, name: str, device: object) -> object:
@@ -64,6 +68,7 @@ class Topology:
         :meth:`find_path` can route through the device.
         """
         self._port_owner[port.name] = node_name
+        self._adjacency = None
         return port
 
     def port_owner(self, port: Port) -> Optional[str]:
@@ -86,16 +91,21 @@ class Topology:
             raise ValueError(f"unknown node: {dst!r}")
         if src == dst:
             return []
-        # node -> list of (neighbour node, hop), in link-insertion order.
-        adjacency: Dict[str, List[Tuple[str, Hop]]] = {}
-        for link in self.links:
-            a, b = link.ports
-            owner_a = self._port_owner.get(a.name)
-            owner_b = self._port_owner.get(b.name)
-            if owner_a is None or owner_b is None:
-                continue
-            adjacency.setdefault(owner_a, []).append((owner_b, (link, a)))
-            adjacency.setdefault(owner_b, []).append((owner_a, (link, b)))
+        # node -> list of (neighbour node, hop), in link-insertion
+        # order; memoised across calls since a topology is static once
+        # built (any mutation clears the cache).
+        adjacency = self._adjacency
+        if adjacency is None:
+            adjacency = {}
+            for link in self.links:
+                a, b = link.ports
+                owner_a = self._port_owner.get(a.name)
+                owner_b = self._port_owner.get(b.name)
+                if owner_a is None or owner_b is None:
+                    continue
+                adjacency.setdefault(owner_a, []).append((owner_b, (link, a)))
+                adjacency.setdefault(owner_b, []).append((owner_a, (link, b)))
+            self._adjacency = adjacency
         frontier = [src]
         came_from: Dict[str, Tuple[str, Hop]] = {src: (src, None)}
         while frontier:
@@ -137,6 +147,7 @@ class Topology:
             loss_seed=loss_seed,
         )
         self.links.append(link)
+        self._adjacency = None
         return link
 
     def host(self, name: str) -> Host:

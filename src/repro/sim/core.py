@@ -222,11 +222,19 @@ def _run_callback(event: "_Callback") -> None:
     event.fn(*event.args)
 
 
+def _cancelled_callback(*_args: Any) -> None:
+    """Target of a cancelled :class:`_Callback`: do nothing."""
+
+
 class _Callback(Event):
     """Pre-triggered event that invokes ``fn(*args)`` when processed.
 
-    Backs :meth:`Environment.call_later` — a fire-and-forget deferred call
-    without the Process/generator/bounce machinery.
+    Backs :meth:`Environment.call_later` / :meth:`Environment.call_at` —
+    a fire-and-forget deferred call without the Process/generator/bounce
+    machinery.  :meth:`cancel` turns the pending call into a no-op
+    without heap surgery: the queue entry stays and is processed as an
+    empty event, which keeps scheduling O(log n) and the
+    ``scheduled_events`` fingerprint stable.
     """
 
     __slots__ = ("fn", "args")
@@ -239,6 +247,25 @@ class _Callback(Event):
         self.fn = fn
         self.args = args
         self.callbacks = [_run_callback]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self.fn is _cancelled_callback
+
+    def cancel(self) -> None:
+        """Suppress the pending call (idempotent).
+
+        The event still pops off the queue at its scheduled time but
+        invokes nothing.  Callers that would otherwise let a stale
+        deferred call fire (the fluid engine's completion wake-ups, for
+        example) cancel instead of scheduling a replacement plus an
+        epoch guard.
+        """
+        if self.fn is not _cancelled_callback:
+            self.fn = _cancelled_callback
+            self.args = ()
+            self.env._cancelled += 1
 
 
 class AnyOf(Event):
@@ -457,6 +484,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._scheduled = 0
+        self._cancelled = 0
         self._active_process: Optional[Process] = None
         self._delay_pool: List[_Delay] = []
         self._seed = seed if seed is not None else _DEFAULT_SEED
@@ -500,6 +528,11 @@ class Environment:
         """Total events scheduled so far (a determinism fingerprint)."""
         return self._scheduled
 
+    @property
+    def cancelled_events(self) -> int:
+        """Deferred calls cancelled before firing (stale-wake accounting)."""
+        return self._cancelled
+
     def schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         """Enqueue ``event`` to fire ``delay`` time units from now."""
         self._scheduled = seq = self._scheduled + 1
@@ -537,20 +570,23 @@ class Environment:
         return ev
 
     def call_later(self, delay: float, fn: Callable[..., Any],
-                   *args: Any) -> None:
+                   *args: Any) -> _Callback:
         """Run ``fn(*args)`` after ``delay`` time units (fire-and-forget).
 
         A single scheduled event replaces the Process + start bounce +
         completion event a ``def ...(): yield env.delay(d); fn()`` helper
         would cost; use it for deferred plain calls that nobody waits on.
+        Returns the scheduled event; ``.cancel()`` suppresses the call.
         """
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         self._scheduled = seq = self._scheduled + 1
-        heappush(self._queue, (self._now + delay, 1, seq, _Callback(self, fn, args)))
+        event = _Callback(self, fn, args)
+        heappush(self._queue, (self._now + delay, 1, seq, event))
+        return event
 
     def call_at(self, when: float, fn: Callable[..., Any], *args: Any,
-                priority: int = PACKET_LEVEL_PRIORITY) -> None:
+                priority: int = PACKET_LEVEL_PRIORITY) -> _Callback:
         """Run ``fn(*args)`` at absolute simulated time ``when``.
 
         The flow-level engine computes wake-up instants analytically
@@ -559,13 +595,20 @@ class Environment:
         ``priority`` selects the level lane: :data:`FLOW_LEVEL_PRIORITY`
         events run after every packet-level event bearing the same
         timestamp (see the module constants).
+
+        Returns the scheduled event.  A caller holding the handle can
+        ``.cancel()`` it when the deferred call becomes stale — cheaper
+        than letting a dead wake-up fire through an epoch guard, and it
+        keeps the event heap free of work that will be discarded.
         """
         if when < self._now:
             raise SimulationError(
                 f"call_at({when}) is in the past (now={self._now})"
             )
         self._scheduled = seq = self._scheduled + 1
-        heappush(self._queue, (when, priority, seq, _Callback(self, fn, args)))
+        event = _Callback(self, fn, args)
+        heappush(self._queue, (when, priority, seq, event))
+        return event
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:

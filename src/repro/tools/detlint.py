@@ -37,6 +37,13 @@ code        severity   meaning
                        ``uuid.uuid4()`` — results depend on the host
                        environment or OS entropy, not on simulation
                        inputs
+``DET107``  error      mutable default argument (``dict``/``list``/
+                       ``set``/``bytearray`` literal, comprehension, or
+                       bare constructor call) — the default is created
+                       once at function definition and shared by every
+                       call, so a mutation in one call leaks into the
+                       next: hidden cross-call state, the same family
+                       of bug as the global RNG
 ==========  =========  ====================================================
 
 Findings are suppressed by a pragma comment on the offending line (give a
@@ -90,6 +97,10 @@ _SCHEDULING_ATTRS = frozenset({
     "process", "schedule", "call_later", "timeout", "delay", "succeed",
     "fail",
 })
+
+#: Bare constructor calls that build a fresh mutable container — as a
+#: default argument these are just as shared as a literal (for DET107).
+_MUTABLE_CTORS = frozenset({"dict", "list", "set", "bytearray"})
 
 _PRAGMA = "detlint:"
 
@@ -337,6 +348,41 @@ class _Linter(ast.NodeVisitor):
                 "variables",
                 node,
             )
+        self.generic_visit(node)
+
+    # -- mutable default arguments (DET107) -------------------------------
+
+    @staticmethod
+    def _is_mutable_default(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                             ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_CTORS)
+
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and self._is_mutable_default(default):
+                self._diag(
+                    "error", "DET107",
+                    "mutable default argument: created once at function "
+                    "definition and shared by every call, so mutations "
+                    "leak across calls",
+                    default,
+                    notes=["use None as the sentinel and build the "
+                           "container inside the function body"],
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
         self.generic_visit(node)
 
     # -- set / dict-view iteration ---------------------------------------

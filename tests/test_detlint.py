@@ -268,6 +268,55 @@ def test_det106_pragma_escape():
 
 
 # ---------------------------------------------------------------------------
+# DET107: mutable default arguments.
+# ---------------------------------------------------------------------------
+
+def test_mutable_default_literal_flagged():
+    diags = _lint("""
+        def f(pinned={}):
+            return pinned
+
+        def g(path=[], seen=set()):
+            return path, seen
+    """)
+    assert _codes(diags) == ["DET107", "DET107", "DET107"]
+
+
+def test_mutable_default_constructor_call_flagged():
+    diags = _lint("""
+        def f(table=dict(), row=list(), buf=bytearray()):
+            return table
+    """)
+    assert _codes(diags) == ["DET107", "DET107", "DET107"]
+
+
+def test_mutable_default_kwonly_and_lambda_flagged():
+    diags = _lint("""
+        def f(*, acc=[]):
+            return acc
+
+        g = lambda xs={}: xs
+    """)
+    assert _codes(diags) == ["DET107", "DET107"]
+
+
+def test_none_sentinel_and_immutable_defaults_are_fine():
+    assert _lint("""
+        def f(pinned=None, sig=(), name="x", k=3):
+            if pinned is None:
+                pinned = {}
+            return pinned, sig, name, k
+    """) == []
+
+
+def test_mutable_default_pragma_escape():
+    assert _lint("""
+        def f(shared={}):  # detlint: ok(intentional cross-call memo)
+            return shared
+    """) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression.
 # ---------------------------------------------------------------------------
 

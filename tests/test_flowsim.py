@@ -16,9 +16,11 @@ from repro.flowsim import (
     FlowSpec,
     FluidEngine,
     MIN_RATE_BPS,
+    PathClassSolver,
     ScenarioConfig,
     build_leaf_spine,
     generate_flows,
+    max_min_class_rates,
     max_min_rates,
     packet_fan_in,
     packet_pair,
@@ -74,6 +76,174 @@ class TestMaxMinSolver:
         flows = {i: (i % 3, 3 + i % 2) for i in range(20)}
         caps = {0: 10e9, 1: 12e9, 2: 8e9, 3: 40e9, 4: 25e9}
         assert max_min_rates(flows, caps) == max_min_rates(flows, caps)
+
+
+# ---------------------------------------------------------------------------
+# Path-class solver: bit-identical to the per-flow reference
+# ---------------------------------------------------------------------------
+
+
+def _random_instance(rng):
+    """A randomized solver instance spanning the solver's corner cases.
+
+    Capacities range down to MIN_RATE_BPS scale (so the rate floor
+    engages), pinned demand covers none/partial/exact/over-saturation
+    (so pinned subtraction and the clamp at zero both engage), and
+    signatures include empty paths and repeated links.
+    """
+    nlinks = rng.randint(1, 40)
+    caps = {i: rng.choice([1e3, 1e4, 1e6, 1e9]) * rng.uniform(0.5, 2.0)
+            for i in range(nlinks)}
+    class_flows = {}
+    for _ in range(rng.randint(1, 60)):
+        sig = tuple(rng.choices(range(nlinks), k=rng.randint(0, 6)))
+        mult = rng.randint(1, 50) if rng.random() < 0.3 else 1
+        class_flows[sig] = class_flows.get(sig, 0) + mult
+    pinned = {}
+    for i in range(nlinks):
+        r = rng.random()
+        if r < 0.15:
+            pinned[i] = 0.0
+        elif r < 0.3:
+            pinned[i] = caps[i] * 0.5
+        elif r < 0.4:
+            pinned[i] = caps[i]          # exactly saturated
+        elif r < 0.45:
+            pinned[i] = caps[i] * 2.0    # over-saturated -> rate floor
+    return caps, class_flows, pinned
+
+
+def _expand(class_flows):
+    """Per-flow inputs for the reference: one flow per class member."""
+    flows = {}
+    fid = 0
+    for sig, mult in sorted(class_flows.items()):
+        for _ in range(mult):
+            flows[fid] = list(sig)
+            fid += 1
+    return flows
+
+
+def _reference_by_class(class_flows, caps, pinned):
+    """Reference rates regrouped per class; asserts members agree."""
+    flows = _expand(class_flows)
+    ref = max_min_rates(flows, caps, pinned)
+    by_class = {}
+    fid = 0
+    for sig, mult in sorted(class_flows.items()):
+        rates = {ref[fid + k] for k in range(mult)}
+        assert len(rates) == 1, f"members of {sig} diverge: {rates}"
+        by_class[sig] = rates.pop()
+        fid += mult
+    return by_class
+
+
+class TestPathClassSolverEquivalence:
+    """The incremental class solver must be *bit-identical* (==, not
+    approx) to the from-scratch per-flow reference."""
+
+    def test_one_shot_equivalence_randomized(self):
+        import random
+        for trial in range(120):
+            rng = random.Random(trial * 7919 + 13)
+            caps, class_flows, pinned = _random_instance(rng)
+            got = max_min_class_rates(class_flows, caps, pinned)
+            assert got == _reference_by_class(class_flows, caps, pinned)
+
+    def test_incremental_churn_equivalence_randomized(self):
+        # Random add/remove/pin churn with a solve every few steps:
+        # the live incremental state must keep matching a fresh
+        # reference solve over the same flows, and the changed set
+        # must be exactly the classes whose rate moved.
+        import random
+        for trial in range(12):
+            rng = random.Random(trial * 104729 + 7)
+            nlinks = rng.randint(2, 30)
+            caps = {i: rng.choice([1e3, 1e5, 1e8, 1e9])
+                    * rng.uniform(0.5, 2.0) for i in range(nlinks)}
+            solver = PathClassSolver(caps)
+            live, last = {}, {}
+            for step in range(400):
+                op = rng.random()
+                if op < 0.45 or not live:
+                    sig = tuple(rng.choices(range(nlinks),
+                                            k=rng.randint(0, 5)))
+                    solver.add(sig)
+                    live[sig] = live.get(sig, 0) + 1
+                elif op < 0.8:
+                    sig = rng.choice(sorted(live))
+                    solver.remove(sig)
+                    live[sig] -= 1
+                    if not live[sig]:
+                        del live[sig]
+                        last.pop(sig, None)
+                else:
+                    i = rng.randrange(nlinks)
+                    delta = (rng.choice([1.0, -1.0]) * caps[i]
+                             * rng.uniform(0, 0.6))
+                    if solver.pinned_demand(i) + delta < 0:
+                        delta = -solver.pinned_demand(i)
+                    solver.pin(i, delta)
+                if step % 5 != 4:
+                    continue
+                changed = solver.resolve()
+                got = solver.solve()
+                pinned = {i: solver.pinned_demand(i)
+                          for i in range(nlinks)}
+                assert got == _reference_by_class(live, caps, pinned)
+                want = {s: r for s, r in got.items()
+                        if last.get(s, object()) != r}
+                assert changed == want
+                last = dict(got)
+
+    def test_pinned_demand_override_equivalence(self):
+        import random
+        rng = random.Random(42)
+        caps, class_flows, _ = _random_instance(rng)
+        solver = PathClassSolver(caps)
+        for sig, mult in class_flows.items():
+            solver.add(sig, mult)
+        # Accumulate unrelated pin state, then override it per call:
+        # the override must win, exactly as in the reference.
+        solver.pin(0, caps[0] * 0.25)
+        for _ in range(8):
+            override = {i: caps[i] * rng.choice([0.0, 0.5, 1.0, 2.0])
+                        for i in rng.sample(range(len(caps)),
+                                            k=len(caps) // 2 or 1)}
+            got = solver.solve(override)
+            assert got == _reference_by_class(class_flows, caps, override)
+
+    def test_min_rate_floor_and_saturated_links(self):
+        # Every link fully pinned: all classes land exactly on the
+        # floor, bit-identical to the reference's `share is None` path.
+        caps = {0: 10e9, 1: 2e9}
+        class_flows = {(0,): 3, (0, 1): 2, (1, 1): 1, (): 4}
+        pinned = {0: 10e9, 1: 4e9}
+        got = max_min_class_rates(class_flows, caps, pinned)
+        assert got == _reference_by_class(class_flows, caps, pinned)
+        assert set(got.values()) == {MIN_RATE_BPS}
+
+    def test_multiplicity_matches_expanded_flows(self):
+        # One class of N flows must see exactly the same share as N
+        # separate flows in the reference — including the per-flow
+        # capacity-drain rounding.
+        caps = {0: 9.9e9, 1: 3.3e9}
+        class_flows = {(0,): 7, (0, 1): 5, (1,): 11}
+        got = max_min_class_rates(class_flows, caps)
+        assert got == _reference_by_class(class_flows, caps, {})
+
+    def test_dead_class_recreation_reports_changed(self):
+        solver = PathClassSolver({0: 10e9})
+        solver.add((0,), 2)
+        first = solver.resolve()
+        assert first == {(0,): 5e9}
+        solver.remove((0,))
+        solver.remove((0,))
+        assert solver.resolve() == {}
+        # Re-created at the same rate: must still be reported, since
+        # the engine builds a fresh class object for it.
+        solver.add((0,), 2)
+        assert solver.resolve() == {(0,): 5e9}
 
 
 # ---------------------------------------------------------------------------

@@ -104,7 +104,7 @@ def test_main_writes_json(tmp_path, monkeypatch):
     out = tmp_path / "bench.json"
     monkeypatch.setattr(
         perfjson, "collect",
-        lambda quick=False: _fake_doc(2_000_000, 1_000_000),
+        lambda quick=False, scale=False: _fake_doc(2_000_000, 1_000_000),
     )
     assert perfjson.main(["--output", str(out), "--quick"]) == 0
     doc = json.loads(out.read_text())

@@ -58,6 +58,42 @@ class TestEnvironment:
         assert order == ["first", "second", "third"]
 
 
+class TestDeferredCallCancel:
+    """``call_later``/``call_at`` handles: cancel without heap surgery."""
+
+    def test_cancelled_call_never_fires(self):
+        env = Environment()
+        fired = []
+        handle = env.call_later(1.0, fired.append, "a")
+        env.call_later(2.0, fired.append, "b")
+        handle.cancel()
+        env.run()
+        assert fired == ["b"]
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent_and_counted(self):
+        env = Environment()
+        handle = env.call_later(1.0, lambda: None)
+        assert env.cancelled_events == 0
+        handle.cancel()
+        handle.cancel()
+        assert env.cancelled_events == 1
+        env.run()
+        assert env.cancelled_events == 1
+
+    def test_cancel_keeps_scheduled_events_fingerprint(self):
+        """The queue entry stays: cancelling must not perturb the
+        ``scheduled_events`` determinism fingerprint, and the empty
+        event still pops at its timestamp (time advances)."""
+        env = Environment()
+        handle = env.call_later(5.0, lambda: None)
+        before = env.scheduled_events
+        handle.cancel()
+        assert env.scheduled_events == before
+        env.run()
+        assert env.now == 5.0
+
+
 class TestTimeout:
     def test_negative_delay_rejected(self):
         env = Environment()
